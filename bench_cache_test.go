@@ -1,0 +1,12 @@
+package repro_test
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/xrand"
+)
+
+// newCacheForBench builds an L1 model for the cache micro-benchmark.
+func newCacheForBench(cfg config.CacheConfig) (*cache.Cache, error) {
+	return cache.New(cfg, xrand.New(2))
+}

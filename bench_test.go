@@ -1,0 +1,245 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, each regenerating that artifact end to end (workload generation,
+// simulation of every scenario the figure compares, and metric
+// extraction), plus micro-benchmarks of the core structures.
+//
+// The per-figure benchmarks run at a reduced instruction budget so
+// `go test -bench=.` completes in minutes; `cmd/pfexperiments` runs the
+// same experiments at full scale and is what EXPERIMENTS.md records.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// benchParams is the reduced budget per figure benchmark.
+func benchParams() experiments.Params {
+	return experiments.Params{Instructions: 120_000, Warmup: 40_000, Seed: 1}
+}
+
+// runExperiment drives one paper artifact per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		tab, err := e.Run(&p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFig4(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkBaselines(b *testing.B) { runExperiment(b, "baselines") }
+func BenchmarkExtras(b *testing.B)    { runExperiment(b, "extras") }
+func BenchmarkAblation(b *testing.B)  { runExperiment(b, "ablation") }
+func BenchmarkTaxonomy(b *testing.B)  { runExperiment(b, "taxonomy") }
+func BenchmarkEnergy(b *testing.B)    { runExperiment(b, "energy") }
+
+// BenchmarkAblationIndexing compares direct vs multiplicative-hash
+// indexing of the history table on one aliasing-prone workload — the
+// indexing design option DESIGN.md calls out.
+func BenchmarkAblationIndexing(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mk   func(int) (repro.Filter, error)
+	}{
+		{"direct", repro.NewPAFilter},
+		{"hash", repro.NewHashedPAFilter},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := mode.mk(4096)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := repro.Simulate(repro.Options{
+					Benchmark:       "gzip",
+					Config:          repro.DefaultConfig(),
+					Filter:          f,
+					MaxInstructions: 120_000,
+					Warmup:          40_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the primary structures ---------------------------
+
+func BenchmarkHistoryTableLookup(b *testing.B) {
+	ht, err := core.NewHistoryTable(4096, 2, 2, core.IndexDirect)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = ht.Predict(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkHistoryTableTrain(b *testing.B) {
+	ht, _ := core.NewHistoryTable(4096, 2, 2, core.IndexDirect)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ht.Update(uint64(i), i&1 == 0)
+	}
+}
+
+func BenchmarkFilterAllow(b *testing.B) {
+	f, _ := core.NewPC(4096, 2, 2, core.IndexDirect)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Allow(core.Request{LineAddr: uint64(i), TriggerPC: uint64(i) * 4})
+	}
+}
+
+func BenchmarkPrefetchQueue(b *testing.B) {
+	q, _ := prefetch.NewQueue(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(prefetch.Candidate{LineAddr: uint64(i)}, uint64(i))
+		if i%2 == 1 {
+			q.Dequeue()
+			q.Dequeue()
+		}
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	recs := isa.Collect(isa.NewLimitSource(spec.New(1), 100_000), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := isa.WriteTrace(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	recs := isa.Collect(isa.NewLimitSource(spec.New(1), 100_000), 0)
+	var buf bytes.Buffer
+	if err := isa.WriteTrace(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isa.ReadTrace(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, name := range []string{"fpppp", "mcf"} {
+		b.Run(name, func(b *testing.B) {
+			spec, _ := workload.ByName(name)
+			src := spec.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := src.Next(); !ok {
+					b.Fatal("model exhausted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput reports simulated instructions per second
+// for the whole stack (workload -> CPU -> hierarchy -> filter).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, kind := range []config.FilterKind{config.FilterNone, config.FilterPA} {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			const n = 100_000
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Options{
+					Benchmark:       "wave5",
+					Config:          config.Default().WithFilter(kind),
+					MaxInstructions: n,
+					Warmup:          -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+		})
+	}
+}
+
+// BenchmarkCachePressure exercises the L1 model alone under a mixed
+// hit/miss stream, isolating the cache from the rest of the stack.
+func BenchmarkCachePressure(b *testing.B) {
+	h := xrand.New(1)
+	c := config.Default().L1
+	cc, err := newCacheForBench(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		la := h.Uint64n(1 << 12)
+		if _, hit := cc.Lookup(la); !hit {
+			cc.Insert(la)
+		}
+	}
+}
+
+func init() {
+	// Fail fast if the experiment registry ever drifts from the 21
+	// artifacts the benchmarks above cover.
+	if got := len(experiments.All()); got != 27 {
+		panic(fmt.Sprintf("bench harness out of date: %d experiments registered", got))
+	}
+}

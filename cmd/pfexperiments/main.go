@@ -1,0 +1,104 @@
+// Command pfexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pfexperiments -list            # show available experiments
+//	pfexperiments -exp fig6        # regenerate one figure
+//	pfexperiments -all             # regenerate everything (results_full.txt)
+//	pfexperiments -exp fig12 -csv  # CSV instead of aligned text
+//	pfexperiments -all -n 5000000  # longer runs for tighter statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		md     = flag.Bool("md", false, "emit GitHub-flavored markdown")
+		n      = flag.Int64("n", 2_000_000, "measured instructions per run")
+		warmup = flag.Int64("warmup", 1_000_000, "warmup instructions per run")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
+		jobs   = flag.Int("j", 0, "parallel simulation workers for pre-warming (0 = GOMAXPROCS, 1 = serial)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.Params{Instructions: *n, Warmup: *warmup, Seed: *seed}
+	if *bench != "" {
+		params.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	var targets []experiments.Experiment
+	switch {
+	case *all:
+		targets = experiments.All()
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pfexperiments: unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		targets = []experiments.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "pfexperiments: need -exp <id> or -all; try -list")
+		os.Exit(1)
+	}
+
+	// Pre-warm the shared simulation matrix in parallel when running more
+	// than one experiment; each experiment then reads memoized results.
+	if len(targets) > 1 && *jobs != 1 {
+		start := time.Now()
+		if err := params.Prewarm(*jobs); err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: prewarm: %v\n", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("pre-warmed %d simulations in %.1fs\n\n", params.CachedRuns(), time.Since(start).Seconds())
+		}
+	}
+
+	for _, e := range targets {
+		start := time.Now()
+		table, err := e.Run(&params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pfexperiments:", err)
+				os.Exit(1)
+			}
+		case *md:
+			if err := table.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pfexperiments:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("=== %s: %s (%.1fs) ===\n", e.ID, e.Title, time.Since(start).Seconds())
+			if err := table.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pfexperiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

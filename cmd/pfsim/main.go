@@ -1,0 +1,154 @@
+// Command pfsim runs a single simulation: one benchmark on one machine
+// configuration with one pollution-filter variant, and prints the full
+// measurement set.
+//
+// Usage:
+//
+//	pfsim -bench mcf -filter pc -n 2000000
+//	pfsim -bench gzip -filter pa -l1 32768 -l1lat 4 -ports 4
+//	pfsim -bench wave5 -filter none -buffer
+//	pfsim -trace trace.pft -filter pa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "mcf", "benchmark name (see -list)")
+		traceIn  = flag.String("trace", "", "run from a PFTRACE1 trace file instead of a benchmark model")
+		filter   = flag.String("filter", "none", "pollution filter: none|pa|pc|adaptive|deadblock")
+		entries  = flag.Int("entries", 4096, "history table entries (power of two)")
+		n        = flag.Int64("n", 2_000_000, "measured instructions")
+		warmup   = flag.Int64("warmup", 1_000_000, "warmup instructions (excluded from stats)")
+		seed     = flag.Uint64("seed", 1, "workload/replacement seed")
+		l1size   = flag.Int("l1", 8192, "L1 size in bytes")
+		l1lat    = flag.Int("l1lat", 0, "L1 latency in cycles (0 = derive: 8KB→1, 32KB→4)")
+		ports    = flag.Int("ports", 3, "L1 universal ports (3/4/5 pair with 1/2/3-cycle latency at 8KB)")
+		buffer   = flag.Bool("buffer", false, "use the 16-entry dedicated prefetch buffer (§5.5)")
+		noNSP    = flag.Bool("no-nsp", false, "disable next-sequence prefetching")
+		noSDP    = flag.Bool("no-sdp", false, "disable shadow-directory prefetching")
+		noSW     = flag.Bool("no-sw", false, "disable software prefetches")
+		stride   = flag.Bool("stride", false, "enable the stride (RPT) prefetcher extension")
+		corr     = flag.Bool("corr", false, "enable the miss-correlation prefetcher extension")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		jsonConf = flag.String("config", "", "load a full JSON machine config from this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-10s %-9s %-28s (paper: L1 %.4f, L2 %.4f)\n",
+				s.Name, s.Suite, s.Input, s.PaperL1Miss, s.PaperL2Miss)
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *jsonConf != "" {
+		data, err := os.ReadFile(*jsonConf)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = config.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cfg.L1.SizeBytes = *l1size
+	cfg = cfg.WithL1Ports(*ports)
+	if *l1lat > 0 {
+		cfg.L1.LatencyCycles = *l1lat
+	} else if *l1size >= 32*1024 {
+		cfg.L1.LatencyCycles = 4
+	}
+	cfg.Filter.Kind = config.FilterKind(*filter)
+	cfg.Filter.TableEntries = *entries
+	cfg.Buffer.Enable = *buffer
+	cfg.Prefetch.EnableNSP = !*noNSP
+	cfg.Prefetch.EnableSDP = !*noSDP
+	cfg.Prefetch.EnableSoftware = !*noSW
+	cfg.Prefetch.EnableStride = *stride
+	cfg.Prefetch.EnableCorrelation = *corr
+	cfg.Seed = *seed
+
+	opts := sim.Options{
+		Benchmark:       *bench,
+		Config:          cfg,
+		MaxInstructions: *n,
+		Warmup:          *warmup,
+	}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := isa.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Source = r
+		opts.Benchmark = *traceIn
+	}
+
+	run, err := sim.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark        %s\n", run.Benchmark)
+	fmt.Printf("filter           %s\n", run.Filter)
+	fmt.Printf("instructions     %d\n", run.Instructions)
+	fmt.Printf("cycles           %d\n", run.Cycles)
+	fmt.Printf("IPC              %.4f\n", run.IPC())
+	fmt.Printf("L1 miss rate     %.4f (%d/%d)\n", run.L1MissRate(), run.L1DemandMisses, run.L1DemandAccesses)
+	fmt.Printf("L2 miss rate     %.4f (%d/%d)\n", run.L2MissRate(), run.L2DemandMisses, run.L2DemandAccesses)
+	fmt.Printf("branch accuracy  %.4f\n", 1-float64(run.BranchMispredictions)/max1(run.BranchPredictions))
+	fmt.Println()
+	fmt.Printf("prefetches issued   %d\n", run.Prefetches.Issued)
+	fmt.Printf("  good              %d (%d still resident)\n", run.Prefetches.Good, run.Prefetches.ResidentGood)
+	fmt.Printf("  bad               %d (%d still resident)\n", run.Prefetches.Bad, run.Prefetches.ResidentBad)
+	fmt.Printf("  bad/good ratio    %.3f\n", run.Prefetches.BadGoodRatio())
+	fmt.Printf("filtered            %d\n", run.Prefetches.Filtered)
+	fmt.Printf("squashed (dup)      %d\n", run.Prefetches.Squashed)
+	fmt.Printf("queue overflow      %d\n", run.Prefetches.Overflow)
+	fmt.Println()
+	fmt.Printf("L1 traffic: demand %d, prefetch %d (ratio %.3f)\n",
+		run.Traffic.DemandAccesses, run.Traffic.PrefetchAccesses, run.Traffic.PrefetchRatio())
+	fmt.Printf("L2 accesses %d (prefetch %d), memory %d (prefetch %d)\n",
+		run.Traffic.L2Accesses, run.Traffic.PrefetchL2, run.Traffic.MemAccesses, run.Traffic.PrefetchMem)
+	if len(run.BySource) > 0 {
+		keys := make([]string, 0, len(run.BySource))
+		for k := range run.BySource {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("prefetches by source:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, run.BySource[k])
+		}
+		fmt.Println()
+	}
+}
+
+func max1(v uint64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pfsim:", err)
+	os.Exit(1)
+}

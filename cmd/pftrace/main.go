@@ -1,0 +1,220 @@
+// Command pftrace generates, inspects, and verifies binary PFTRACE1 trace
+// files, decoupling workload generation from simulation.
+//
+// Usage:
+//
+//	pftrace gen -bench em3d -n 1000000 -o em3d.pft
+//	pftrace info em3d.pft
+//	pftrace dump -n 20 em3d.pft
+//	pftrace analyze em3d.pft           # reuse-distance / working-set profile
+//	pftrace analyze -bench mcf -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pftrace gen     -bench <name> -n <count> [-seed S] -o <file>
+  pftrace info    <file>
+  pftrace dump    [-n count] <file>
+  pftrace analyze [<file> | -bench <name> -n <count>]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pftrace:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "mcf", "benchmark model")
+	n := fs.Int64("n", 1_000_000, "records to generate")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	out := fs.String("o", "", "output file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := isa.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	src := isa.NewLimitSource(spec.New(*seed), *n)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+}
+
+func openTrace(path string) *isa.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := isa.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	r := openTrace(fs.Arg(0))
+	var counts [5]uint64
+	var total, deps uint64
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		counts[rec.Op]++
+		total++
+		if rec.Dep {
+			deps++
+		}
+	}
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("records   %d\n", total)
+	fmt.Printf("alu       %d\n", counts[isa.OpALU])
+	fmt.Printf("load      %d (%d dependent)\n", counts[isa.OpLoad], deps)
+	fmt.Printf("store     %d\n", counts[isa.OpStore])
+	fmt.Printf("branch    %d\n", counts[isa.OpBranch])
+	fmt.Printf("prefetch  %d\n", counts[isa.OpPrefetch])
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Int("n", 20, "records to print")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	r := openTrace(fs.Arg(0))
+	for i := 0; i < *n; i++ {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		dep := ""
+		if rec.Dep {
+			dep = " dep"
+		}
+		switch rec.Op {
+		case isa.OpBranch:
+			fmt.Printf("%08x %-8s taken=%-5v target=%08x\n", rec.PC, rec.Op, rec.Taken, rec.Addr)
+		case isa.OpALU:
+			fmt.Printf("%08x %-8s\n", rec.PC, rec.Op)
+		default:
+			fmt.Printf("%08x %-8s addr=%08x%s\n", rec.PC, rec.Op, rec.Addr, dep)
+		}
+	}
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	bench := fs.String("bench", "", "analyze a benchmark model instead of a file")
+	n := fs.Int64("n", 1_000_000, "records to analyze when using -bench")
+	seed := fs.Uint64("seed", 1, "generation seed for -bench")
+	line := fs.Int("line", 32, "line size in bytes")
+	_ = fs.Parse(args)
+
+	var src isa.Source
+	switch {
+	case *bench != "":
+		spec, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		src = isa.NewLimitSource(spec.New(*seed), *n)
+	case fs.NArg() == 1:
+		src = openTrace(fs.Arg(0))
+	default:
+		usage()
+	}
+
+	p, err := analysis.AnalyzeSource(src, *line, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("memory references  %d\n", p.Accesses)
+	fmt.Printf("distinct lines     %d (%.1f KB footprint)\n", p.Footprint, float64(p.Footprint*uint64(*line))/1024)
+	fmt.Printf("cold misses        %d (%.2f%%)\n", p.ColdMisses, 100*float64(p.ColdMisses)/float64(max(p.Accesses, 1)))
+	fmt.Println()
+	fmt.Println("reuse-distance histogram (lines):")
+	for b, count := range p.Histogram {
+		if count == 0 {
+			continue
+		}
+		lo, hi := analysis.BucketRange(b)
+		frac := float64(count) / float64(p.Accesses)
+		bar := ""
+		for i := 0; i < int(frac*60); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  [%7d,%7d)  %9d  %5.1f%%  %s\n", lo, hi, count, 100*frac, bar)
+	}
+	fmt.Println()
+	fmt.Println("predicted fully-associative LRU miss rates:")
+	for _, kb := range []int{8, 16, 32, 64, 256, 512} {
+		lines := kb * 1024 / *line
+		fmt.Printf("  %4d KB: %.4f\n", kb, p.MissRate(lines))
+	}
+	if ws := p.WorkingSet(0.01); ws > 0 {
+		fmt.Printf("\nworking set (1%% miss target): %d lines = %d KB\n", ws, ws**line/1024)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: run one benchmark on the paper's default machine with and
+// without the PC-based pollution filter and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const bench = "mcf"
+	base := repro.DefaultConfig()
+
+	baseline, err := repro.Simulate(repro.Options{
+		Benchmark:       bench,
+		Config:          base, // no filtering
+		MaxInstructions: 2_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	filtered, err := repro.Simulate(repro.Options{
+		Benchmark:       bench,
+		Config:          base.WithFilter(repro.FilterPC),
+		MaxInstructions: 2_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (8KB direct-mapped L1, NSP+SDP+software prefetching)\n\n", bench)
+	fmt.Printf("%-22s %12s %12s\n", "", "no filter", "PC filter")
+	fmt.Printf("%-22s %12.3f %12.3f\n", "IPC", baseline.IPC(), filtered.IPC())
+	fmt.Printf("%-22s %12d %12d\n", "good prefetches", baseline.Prefetches.Good, filtered.Prefetches.Good)
+	fmt.Printf("%-22s %12d %12d\n", "bad prefetches", baseline.Prefetches.Bad, filtered.Prefetches.Bad)
+	fmt.Printf("%-22s %12d %12d\n", "filtered prefetches", baseline.Prefetches.Filtered, filtered.Prefetches.Filtered)
+	fmt.Printf("%-22s %12d %12d\n", "prefetch L1 traffic", baseline.Traffic.PrefetchAccesses, filtered.Traffic.PrefetchAccesses)
+	fmt.Printf("%-22s %12.4f %12.4f\n", "L1 miss rate", baseline.L1MissRate(), filtered.L1MissRate())
+
+	speedup := (filtered.IPC() - baseline.IPC()) / baseline.IPC() * 100
+	fmt.Printf("\nIPC speedup from pollution filtering: %+.1f%%\n", speedup)
+}

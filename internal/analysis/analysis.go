@@ -1,0 +1,297 @@
+// Package analysis provides trace-level locality analysis: reuse-distance
+// (LRU stack distance) histograms, working-set footprints, and the
+// miss-rate curves they imply for fully-associative LRU caches.
+//
+// This is the instrumentation used to validate the synthetic workload
+// models against the paper's Table 2: a model's reuse-distance profile
+// determines its miss rate at every cache size simultaneously (Mattson's
+// stack algorithm), so one pass over a trace predicts the whole
+// size/miss-rate curve the calibration targets.
+//
+// The stack-distance implementation is an order-statistics tree over the
+// LRU stack (O(log n) per access), so multi-million-record traces analyze
+// in seconds.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// treeNode is a node of the order-statistics treap keyed by last-access
+// timestamp; Size supports rank queries (= stack distance).
+type treeNode struct {
+	key      uint64 // last-access timestamp (unique per resident line)
+	priority uint64 // treap heap priority
+	size     int
+	left     *treeNode
+	right    *treeNode
+}
+
+func nodeSize(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treeNode) update() { n.size = 1 + nodeSize(n.left) + nodeSize(n.right) }
+
+// split partitions t into keys < key and keys >= key.
+func split(t *treeNode, key uint64) (l, r *treeNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.key < key {
+		t.right, r = split(t.right, key)
+		t.update()
+		return t, r
+	}
+	l, t.left = split(t.left, key)
+	t.update()
+	return l, t
+}
+
+func merge(l, r *treeNode) *treeNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.priority > r.priority:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// countGreater returns how many keys in t are > key.
+func countGreater(t *treeNode, key uint64) int {
+	count := 0
+	for t != nil {
+		if t.key > key {
+			count += 1 + nodeSize(t.right)
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return count
+}
+
+// remove deletes key from t (which must contain it).
+func remove(t *treeNode, key uint64) *treeNode {
+	if t == nil {
+		return nil
+	}
+	if t.key == key {
+		return merge(t.left, t.right)
+	}
+	if key < t.key {
+		t.left = remove(t.left, key)
+	} else {
+		t.right = remove(t.right, key)
+	}
+	t.update()
+	return t
+}
+
+// insert adds a node with the given key.
+func insert(t *treeNode, n *treeNode) *treeNode {
+	if t == nil {
+		n.size = 1
+		return n
+	}
+	if n.priority > t.priority {
+		n.left, n.right = split(t, n.key)
+		n.update()
+		return n
+	}
+	if n.key < t.key {
+		t.left = insert(t.left, n)
+	} else {
+		t.right = insert(t.right, n)
+	}
+	t.update()
+	return t
+}
+
+// Profile is the result of analyzing one trace.
+type Profile struct {
+	// LineBytes is the granularity of the analysis.
+	LineBytes int
+	// Accesses is the number of memory references analyzed.
+	Accesses uint64
+	// ColdMisses is the number of first-touch references.
+	ColdMisses uint64
+	// Footprint is the number of distinct lines touched.
+	Footprint uint64
+	// Histogram[b] counts accesses whose LRU stack distance fell in
+	// bucket b: distance in [2^b, 2^(b+1)) lines (bucket 0 = distance 1).
+	Histogram []uint64
+}
+
+// Analyzer computes reuse distances incrementally.
+type Analyzer struct {
+	lineShift  uint
+	clock      uint64
+	lastAccess map[uint64]uint64 // line -> timestamp key in the tree
+	tree       *treeNode
+	prioState  uint64
+	profile    Profile
+}
+
+// NewAnalyzer builds an analyzer at the given line granularity (power of
+// two).
+func NewAnalyzer(lineBytes int) (*Analyzer, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("analysis: line bytes must be a positive power of two, got %d", lineBytes)
+	}
+	shift := uint(0)
+	for v := lineBytes; v > 1; v >>= 1 {
+		shift++
+	}
+	return &Analyzer{
+		lineShift:  shift,
+		lastAccess: make(map[uint64]uint64),
+		profile:    Profile{LineBytes: lineBytes, Histogram: make([]uint64, 40)},
+	}, nil
+}
+
+// prio is a tiny splitmix step for treap priorities (deterministic).
+func (a *Analyzer) prio() uint64 {
+	a.prioState += 0x9e3779b97f4a7c15
+	z := a.prioState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 27)
+}
+
+// Touch records one memory reference at byte address addr.
+func (a *Analyzer) Touch(addr uint64) {
+	line := addr >> a.lineShift
+	a.clock++
+	a.profile.Accesses++
+	if last, seen := a.lastAccess[line]; seen {
+		// Stack distance = number of distinct lines touched since `last`
+		// = count of tree keys newer than last, plus this line itself.
+		dist := countGreater(a.tree, last) + 1
+		b := bucket(dist)
+		a.profile.Histogram[b]++
+		a.tree = remove(a.tree, last)
+	} else {
+		a.profile.ColdMisses++
+		a.profile.Footprint++
+	}
+	a.tree = insert(a.tree, &treeNode{key: a.clock, priority: a.prio()})
+	a.lastAccess[line] = a.clock
+}
+
+// bucket maps a stack distance (>=1) to its power-of-two histogram bucket.
+func bucket(dist int) int {
+	b := 0
+	for d := dist; d > 1; d >>= 1 {
+		b++
+	}
+	if b >= 40 {
+		b = 39
+	}
+	return b
+}
+
+// BucketRange returns the [lo, hi) distance range of histogram bucket b.
+func BucketRange(b int) (lo, hi int) {
+	return 1 << b, 1 << (b + 1)
+}
+
+// Profile returns the accumulated profile.
+func (a *Analyzer) Profile() Profile { return a.profile }
+
+// AnalyzeSource drains up to max memory references from a trace source
+// (non-memory records are skipped; max <= 0 means all).
+func AnalyzeSource(src isa.Source, lineBytes int, max int64) (Profile, error) {
+	a, err := NewAnalyzer(lineBytes)
+	if err != nil {
+		return Profile{}, err
+	}
+	var seen int64
+	for max <= 0 || seen < max {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		seen++
+		if rec.Op == isa.OpLoad || rec.Op == isa.OpStore {
+			a.Touch(rec.Addr)
+		}
+	}
+	return a.Profile(), nil
+}
+
+// MissRate predicts the demand miss rate of a fully-associative LRU cache
+// with the given number of lines: accesses with stack distance greater
+// than the capacity miss, plus cold misses.
+func (p Profile) MissRate(cacheLines int) float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	misses := p.ColdMisses
+	for b, count := range p.Histogram {
+		lo, hi := BucketRange(b)
+		switch {
+		case lo > cacheLines:
+			misses += count
+		case hi <= cacheLines:
+			// all hits
+		default:
+			// The bucket straddles the capacity; apportion linearly.
+			frac := float64(hi-cacheLines) / float64(hi-lo)
+			misses += uint64(math.Round(float64(count) * frac))
+		}
+	}
+	return float64(misses) / float64(p.Accesses)
+}
+
+// WorkingSet returns the smallest cache size (in lines, rounded to a
+// power of two) at which the predicted miss rate drops below target.
+// Returns 0 if even the full footprint cannot reach it (cold misses).
+func (p Profile) WorkingSet(target float64) int {
+	for b := 0; b < len(p.Histogram); b++ {
+		lines := 1 << (b + 1)
+		if p.MissRate(lines) <= target {
+			return lines
+		}
+		if uint64(lines) > 2*p.Footprint {
+			break
+		}
+	}
+	return 0
+}
+
+// HotBuckets returns the histogram buckets holding at least minFrac of
+// all reuse accesses, largest first — a compact locality fingerprint.
+func (p Profile) HotBuckets(minFrac float64) []int {
+	var reuses uint64
+	for _, c := range p.Histogram {
+		reuses += c
+	}
+	if reuses == 0 {
+		return nil
+	}
+	var out []int
+	for b, c := range p.Histogram {
+		if float64(c)/float64(reuses) >= minFrac {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return p.Histogram[out[i]] > p.Histogram[out[j]]
+	})
+	return out
+}

@@ -1,0 +1,88 @@
+// Package bus models the bandwidth-limited interconnect between memory
+// hierarchy levels.
+//
+// The paper's machine has a 64-byte-wide memory bus; excess prefetch
+// traffic "throttles bus bandwidth", which is one of the two costs of bad
+// prefetches (§1.3). The model is a busy-until occupancy channel: each
+// line transfer reserves the bus for ceil(lineBytes/bytesPerCycle) cycles,
+// and a request arriving while the bus is busy queues behind it. That is
+// enough to make prefetch floods visibly delay demand misses.
+package bus
+
+import "fmt"
+
+// Bus is a single occupancy channel.
+type Bus struct {
+	bytesPerCycle int
+	busyUntil     uint64
+
+	// Stats
+	Transfers     uint64 // line transfers performed
+	BytesMoved    uint64
+	BusyCycles    uint64 // cycles the bus spent transferring
+	StallCycles   uint64 // cycles requests waited for the bus
+	DemandXfers   uint64
+	PrefetchXfers uint64
+}
+
+// New builds a bus moving bytesPerCycle bytes per core cycle.
+func New(bytesPerCycle int) (*Bus, error) {
+	if bytesPerCycle <= 0 {
+		return nil, fmt.Errorf("bus: bytes per cycle must be positive, got %d", bytesPerCycle)
+	}
+	return &Bus{bytesPerCycle: bytesPerCycle}, nil
+}
+
+// TransferCycles returns the occupancy of one transfer of n bytes.
+func (b *Bus) TransferCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64((n + b.bytesPerCycle - 1) / b.bytesPerCycle)
+}
+
+// Request schedules a transfer of n bytes requested at cycle now and
+// returns the cycle at which the data has fully arrived. prefetch tags the
+// transfer for traffic accounting.
+func (b *Bus) Request(now uint64, n int, prefetch bool) (done uint64) {
+	start := now
+	if b.busyUntil > start {
+		b.StallCycles += b.busyUntil - start
+		start = b.busyUntil
+	}
+	occ := b.TransferCycles(n)
+	b.busyUntil = start + occ
+	b.Transfers++
+	b.BytesMoved += uint64(n)
+	b.BusyCycles += occ
+	if prefetch {
+		b.PrefetchXfers++
+	} else {
+		b.DemandXfers++
+	}
+	return b.busyUntil
+}
+
+// ResetStats zeroes the traffic counters while preserving the current
+// reservation horizon, so in-progress transfers stay consistent across a
+// warmup-boundary statistics reset.
+func (b *Bus) ResetStats() {
+	b.Transfers, b.BytesMoved, b.BusyCycles = 0, 0, 0
+	b.StallCycles, b.DemandXfers, b.PrefetchXfers = 0, 0, 0
+}
+
+// BusyUntil exposes the current reservation horizon (for tests and the
+// hierarchy's back-pressure heuristics).
+func (b *Bus) BusyUntil() uint64 { return b.busyUntil }
+
+// Utilization returns busy cycles / elapsed cycles (0 when idle).
+func (b *Bus) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	u := float64(b.BusyCycles) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

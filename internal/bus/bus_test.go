@@ -1,0 +1,100 @@
+package bus
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative bandwidth should fail")
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	b, _ := New(8)
+	cases := []struct {
+		bytes int
+		want  uint64
+	}{{0, 0}, {1, 1}, {8, 1}, {9, 2}, {32, 4}, {33, 5}}
+	for _, tc := range cases {
+		if got := b.TransferCycles(tc.bytes); got != tc.want {
+			t.Errorf("TransferCycles(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestRequestIdleBus(t *testing.T) {
+	b, _ := New(8)
+	done := b.Request(100, 32, false)
+	if done != 104 {
+		t.Fatalf("done = %d, want 104", done)
+	}
+	if b.StallCycles != 0 {
+		t.Fatalf("no stall expected, got %d", b.StallCycles)
+	}
+}
+
+func TestRequestQueuesBehindBusy(t *testing.T) {
+	b, _ := New(8)
+	b.Request(100, 32, false) // busy until 104
+	done := b.Request(101, 32, false)
+	if done != 108 {
+		t.Fatalf("queued transfer done = %d, want 108", done)
+	}
+	if b.StallCycles != 3 {
+		t.Fatalf("stall = %d, want 3", b.StallCycles)
+	}
+}
+
+func TestRequestAfterIdleGap(t *testing.T) {
+	b, _ := New(8)
+	b.Request(0, 32, false) // busy until 4
+	done := b.Request(50, 32, false)
+	if done != 54 {
+		t.Fatalf("done = %d, want 54", done)
+	}
+}
+
+func TestTrafficTagging(t *testing.T) {
+	b, _ := New(8)
+	b.Request(0, 32, true)
+	b.Request(10, 32, false)
+	b.Request(20, 32, true)
+	if b.PrefetchXfers != 2 || b.DemandXfers != 1 || b.Transfers != 3 {
+		t.Fatalf("tagging wrong: %+v", *b)
+	}
+	if b.BytesMoved != 96 {
+		t.Fatalf("bytes = %d", b.BytesMoved)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b, _ := New(8)
+	if b.Utilization(100) != 0 {
+		t.Fatal("idle utilization should be 0")
+	}
+	b.Request(0, 80, false) // 10 cycles busy
+	if got := b.Utilization(100); got != 0.1 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if got := b.Utilization(5); got != 1 {
+		t.Fatalf("utilization should clamp at 1, got %v", got)
+	}
+	if b.Utilization(0) != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+}
+
+func TestResetStatsPreservesHorizon(t *testing.T) {
+	b, _ := New(8)
+	b.Request(0, 800, false)
+	horizon := b.BusyUntil()
+	b.ResetStats()
+	if b.Transfers != 0 || b.BusyCycles != 0 || b.StallCycles != 0 {
+		t.Fatal("counters should be zero after reset")
+	}
+	if b.BusyUntil() != horizon {
+		t.Fatal("reservation horizon must survive a stats reset")
+	}
+}

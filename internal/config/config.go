@@ -1,0 +1,433 @@
+// Package config defines the structural parameters of the simulated machine.
+//
+// The default configuration mirrors Table 1 of the paper: an 8-wide
+// out-of-order core with a 128-entry reorder buffer, 64-entry load/store
+// queue, bimodal branch predictor, an 8KB direct-mapped single-cycle L1
+// data cache with 3 universal ports, a 512KB 4-way 15-cycle L2, a 150-cycle
+// main memory, a 64-entry prefetch queue, and a 4096-entry (1KB) pollution
+// filter history table.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FilterKind selects the pollution filter variant attached to the machine.
+type FilterKind string
+
+// Filter variants evaluated in the paper plus the extensions this repo adds.
+const (
+	FilterNone     FilterKind = "none"     // no filtering (baseline)
+	FilterPA       FilterKind = "pa"       // per-address history table
+	FilterPC       FilterKind = "pc"       // program-counter history table
+	FilterStatic   FilterKind = "static"   // profile-driven static filter (Srinivasan et al. baseline)
+	FilterAdaptive FilterKind = "adaptive" // PA table engaged only when prefetch accuracy is low (§5.2.1 "advanced features")
+	// FilterDeadBlock gates prefetches on the predicted liveness of the
+	// line they would displace — the Lai et al. dead-block baseline
+	// (paper reference [11]), built from the same 2-bit counter fabric.
+	FilterDeadBlock FilterKind = "deadblock"
+)
+
+// Valid reports whether k names a known filter kind.
+func (k FilterKind) Valid() bool {
+	switch k {
+	case FilterNone, FilterPA, FilterPC, FilterStatic, FilterAdaptive, FilterDeadBlock:
+		return true
+	}
+	return false
+}
+
+// ReplacementPolicy selects how a set-associative cache picks a victim.
+type ReplacementPolicy string
+
+// Supported replacement policies.
+const (
+	ReplaceLRU    ReplacementPolicy = "lru"
+	ReplaceFIFO   ReplacementPolicy = "fifo"
+	ReplaceRandom ReplacementPolicy = "random"
+)
+
+// Valid reports whether p names a known policy.
+func (p ReplacementPolicy) Valid() bool {
+	switch p {
+	case ReplaceLRU, ReplaceFIFO, ReplaceRandom:
+		return true
+	}
+	return false
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes int `json:"size_bytes"`
+	// LineBytes is the cache line (block) size; must be a power of two.
+	LineBytes int `json:"line_bytes"`
+	// Assoc is the number of ways; 1 means direct-mapped.
+	Assoc int `json:"assoc"`
+	// LatencyCycles is the hit latency.
+	LatencyCycles int `json:"latency_cycles"`
+	// Ports is the number of universal (read/write) ports usable per cycle.
+	Ports int `json:"ports"`
+	// Replacement selects the victim policy for Assoc > 1.
+	Replacement ReplacementPolicy `json:"replacement"`
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int {
+	if c.LineBytes <= 0 || c.Assoc <= 0 {
+		return 0
+	}
+	return c.SizeBytes / (c.LineBytes * c.Assoc)
+}
+
+// Validate checks geometric and physical sanity.
+func (c CacheConfig) Validate(name string) error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("%s: size must be positive, got %d", name, c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("%s: line size must be a positive power of two, got %d", name, c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("%s: associativity must be positive, got %d", name, c.Assoc)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("%s: size %d not divisible by line*assoc (%d*%d)", name, c.SizeBytes, c.LineBytes, c.Assoc)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("%s: set count %d must be a power of two", name, c.Sets())
+	case c.LatencyCycles <= 0:
+		return fmt.Errorf("%s: latency must be positive, got %d", name, c.LatencyCycles)
+	case c.Ports <= 0:
+		return fmt.Errorf("%s: ports must be positive, got %d", name, c.Ports)
+	case !c.Replacement.Valid():
+		return fmt.Errorf("%s: unknown replacement policy %q", name, c.Replacement)
+	}
+	return nil
+}
+
+// CPUConfig describes the out-of-order core.
+type CPUConfig struct {
+	IssueWidth  int `json:"issue_width"`  // instructions dispatched per cycle
+	RetireWidth int `json:"retire_width"` // instructions retired per cycle
+	ROBEntries  int `json:"rob_entries"`
+	LSQEntries  int `json:"lsq_entries"`
+	// BranchPenalty is the flush penalty in cycles on a mispredicted branch.
+	BranchPenalty int `json:"branch_penalty"`
+	// BimodalEntries sizes the bimodal predictor's 2-bit counter table.
+	BimodalEntries int `json:"bimodal_entries"`
+	// BTBSets and BTBAssoc size the branch target buffer.
+	BTBSets  int `json:"btb_sets"`
+	BTBAssoc int `json:"btb_assoc"`
+	// MSHRs bounds concurrently outstanding demand load misses; 0 means
+	// unlimited (the paper does not specify a bound, and the default
+	// machine leaves memory-level parallelism to the LSQ/ROB limits).
+	MSHRs int `json:"mshrs"`
+}
+
+// Validate checks the core parameters.
+func (c CPUConfig) Validate() error {
+	switch {
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("cpu: issue width must be positive, got %d", c.IssueWidth)
+	case c.RetireWidth <= 0:
+		return fmt.Errorf("cpu: retire width must be positive, got %d", c.RetireWidth)
+	case c.ROBEntries <= 0:
+		return fmt.Errorf("cpu: ROB entries must be positive, got %d", c.ROBEntries)
+	case c.LSQEntries <= 0:
+		return fmt.Errorf("cpu: LSQ entries must be positive, got %d", c.LSQEntries)
+	case c.BranchPenalty < 0:
+		return fmt.Errorf("cpu: branch penalty must be non-negative, got %d", c.BranchPenalty)
+	case c.BimodalEntries <= 0 || c.BimodalEntries&(c.BimodalEntries-1) != 0:
+		return fmt.Errorf("cpu: bimodal entries must be a positive power of two, got %d", c.BimodalEntries)
+	case c.BTBSets <= 0 || c.BTBSets&(c.BTBSets-1) != 0:
+		return fmt.Errorf("cpu: BTB sets must be a positive power of two, got %d", c.BTBSets)
+	case c.BTBAssoc <= 0:
+		return fmt.Errorf("cpu: BTB associativity must be positive, got %d", c.BTBAssoc)
+	case c.MSHRs < 0:
+		return fmt.Errorf("cpu: MSHRs must be non-negative, got %d", c.MSHRs)
+	}
+	return nil
+}
+
+// PrefetchConfig controls the prefetch generators and queue.
+type PrefetchConfig struct {
+	// EnableNSP turns on tagged next-sequence prefetching.
+	EnableNSP bool `json:"enable_nsp"`
+	// EnableSDP turns on shadow-directory prefetching at the L2.
+	EnableSDP bool `json:"enable_sdp"`
+	// EnableStride turns on the reference-prediction-table stride prefetcher
+	// (an extension beyond the paper's two hardware prefetchers).
+	EnableStride bool `json:"enable_stride"`
+	// EnableCorrelation turns on the miss-pair correlation prefetcher
+	// (Charney & Reeves, the paper's reference [2] — extension).
+	EnableCorrelation bool `json:"enable_correlation"`
+	// EnableSoftware honours software prefetch records in the trace.
+	EnableSoftware bool `json:"enable_software"`
+	// QueueEntries is the prefetch queue depth (Table 1: 64).
+	QueueEntries int `json:"queue_entries"`
+	// Degree is how many sequential lines NSP fetches per trigger (paper: 1).
+	Degree int `json:"degree"`
+	// StrideEntries sizes the RPT when EnableStride is set.
+	StrideEntries int `json:"stride_entries"`
+	// CorrelationSets and CorrelationAssoc size the correlation table.
+	CorrelationSets  int `json:"correlation_sets"`
+	CorrelationAssoc int `json:"correlation_assoc"`
+}
+
+// Validate checks the prefetch parameters.
+func (c PrefetchConfig) Validate() error {
+	switch {
+	case c.QueueEntries <= 0:
+		return fmt.Errorf("prefetch: queue entries must be positive, got %d", c.QueueEntries)
+	case c.Degree <= 0:
+		return fmt.Errorf("prefetch: degree must be positive, got %d", c.Degree)
+	case c.EnableStride && (c.StrideEntries <= 0 || c.StrideEntries&(c.StrideEntries-1) != 0):
+		return fmt.Errorf("prefetch: stride entries must be a positive power of two, got %d", c.StrideEntries)
+	case c.EnableCorrelation && (c.CorrelationSets <= 0 || c.CorrelationSets&(c.CorrelationSets-1) != 0):
+		return fmt.Errorf("prefetch: correlation sets must be a positive power of two, got %d", c.CorrelationSets)
+	case c.EnableCorrelation && c.CorrelationAssoc <= 0:
+		return fmt.Errorf("prefetch: correlation associativity must be positive, got %d", c.CorrelationAssoc)
+	}
+	return nil
+}
+
+// FilterConfig controls the pollution filter.
+type FilterConfig struct {
+	Kind FilterKind `json:"kind"`
+	// TableEntries is the history table length; must be a power of two.
+	// Table 1 default: 4096 entries (1KB of 2-bit counters).
+	TableEntries int `json:"table_entries"`
+	// InitialCounter seeds new table entries; the paper issues first-touch
+	// prefetches, implying a weakly-good initial state (2).
+	InitialCounter uint8 `json:"initial_counter"`
+	// Threshold is the minimum counter value that predicts "good".
+	Threshold uint8 `json:"threshold"`
+	// AdaptiveAccuracy: when Kind is FilterAdaptive, filtering engages only
+	// while the observed fraction of good prefetches is below this value.
+	AdaptiveAccuracy float64 `json:"adaptive_accuracy"`
+	// AdaptiveWindow: number of classified prefetches per accuracy sample.
+	AdaptiveWindow int `json:"adaptive_window"`
+}
+
+// Validate checks the filter parameters.
+func (c FilterConfig) Validate() error {
+	switch {
+	case !c.Kind.Valid():
+		return fmt.Errorf("filter: unknown kind %q", c.Kind)
+	case c.TableEntries <= 0 || c.TableEntries&(c.TableEntries-1) != 0:
+		return fmt.Errorf("filter: table entries must be a positive power of two, got %d", c.TableEntries)
+	case c.InitialCounter > 3:
+		return fmt.Errorf("filter: initial counter must be a 2-bit value, got %d", c.InitialCounter)
+	case c.Threshold > 3:
+		return fmt.Errorf("filter: threshold must be a 2-bit value, got %d", c.Threshold)
+	}
+	if c.Kind == FilterAdaptive {
+		if c.AdaptiveAccuracy <= 0 || c.AdaptiveAccuracy >= 1 {
+			return fmt.Errorf("filter: adaptive accuracy must be in (0,1), got %g", c.AdaptiveAccuracy)
+		}
+		if c.AdaptiveWindow <= 0 {
+			return fmt.Errorf("filter: adaptive window must be positive, got %d", c.AdaptiveWindow)
+		}
+	}
+	return nil
+}
+
+// BufferConfig controls the optional dedicated prefetch buffer (§5.5).
+type BufferConfig struct {
+	// Enable routes prefetch fills into the buffer instead of the L1.
+	Enable bool `json:"enable"`
+	// Entries is the fully-associative buffer capacity (paper: 16).
+	Entries int `json:"entries"`
+}
+
+// Validate checks the buffer parameters.
+func (c BufferConfig) Validate() error {
+	if c.Enable && c.Entries <= 0 {
+		return fmt.Errorf("prefetch buffer: entries must be positive, got %d", c.Entries)
+	}
+	return nil
+}
+
+// Config is the complete machine description.
+type Config struct {
+	CPU            CPUConfig      `json:"cpu"`
+	L1             CacheConfig    `json:"l1"`
+	L2             CacheConfig    `json:"l2"`
+	MemoryLatency  int            `json:"memory_latency"` // core cycles (Table 1: 150)
+	BusBytesPerCyc int            `json:"bus_bytes_per_cycle"`
+	Prefetch       PrefetchConfig `json:"prefetch"`
+	Filter         FilterConfig   `json:"filter"`
+	Buffer         BufferConfig   `json:"buffer"`
+	// VictimEntries adds a fully-associative victim cache behind the L1
+	// (0 disables — the paper's machine). See internal/victim.
+	VictimEntries int `json:"victim_entries"`
+	// Seed drives every random decision in the run.
+	Seed uint64 `json:"seed"`
+	// MaxInstructions bounds the run; 0 means run the trace to completion.
+	MaxInstructions int64 `json:"max_instructions"`
+}
+
+// Default returns the Table 1 machine: 8KB direct-mapped 1-cycle 3-port L1.
+func Default() Config {
+	return Config{
+		CPU: CPUConfig{
+			IssueWidth:     8,
+			RetireWidth:    8,
+			ROBEntries:     128,
+			LSQEntries:     64,
+			BranchPenalty:  7,
+			BimodalEntries: 2048,
+			BTBSets:        4096,
+			BTBAssoc:       4,
+		},
+		L1: CacheConfig{
+			SizeBytes:     8 * 1024,
+			LineBytes:     32,
+			Assoc:         1,
+			LatencyCycles: 1,
+			Ports:         3,
+			Replacement:   ReplaceLRU,
+		},
+		L2: CacheConfig{
+			SizeBytes:     512 * 1024,
+			LineBytes:     32,
+			Assoc:         4,
+			LatencyCycles: 15,
+			Ports:         1,
+			Replacement:   ReplaceLRU,
+		},
+		MemoryLatency:  150,
+		BusBytesPerCyc: 8, // 64-byte-wide bus at memory speed ≈ 8B/core-cycle
+		Prefetch: PrefetchConfig{
+			EnableNSP:        true,
+			EnableSDP:        true,
+			EnableStride:     false,
+			EnableSoftware:   true,
+			QueueEntries:     64,
+			Degree:           1,
+			StrideEntries:    256,
+			CorrelationSets:  1024,
+			CorrelationAssoc: 2,
+		},
+		Filter: FilterConfig{
+			Kind:             FilterNone,
+			TableEntries:     4096,
+			InitialCounter:   2,
+			Threshold:        2,
+			AdaptiveAccuracy: 0.5,
+			AdaptiveWindow:   1024,
+		},
+		Buffer: BufferConfig{Enable: false, Entries: 16},
+		Seed:   1,
+	}
+}
+
+// Default8K is an alias for Default, named for symmetry with Default32K.
+func Default8K() Config { return Default() }
+
+// Default16K returns the §5.2.1 comparison machine: a 16KB L1, same latency,
+// used to show that a 1KB history table beats simply doubling the cache.
+func Default16K() Config {
+	c := Default()
+	c.L1.SizeBytes = 16 * 1024
+	return c
+}
+
+// Default32K returns the §5.2.2 machine: 32KB L1 with a 4-cycle access.
+func Default32K() Config {
+	c := Default()
+	c.L1.SizeBytes = 32 * 1024
+	c.L1.LatencyCycles = 4
+	return c
+}
+
+// WithFilter returns a copy of c using the given filter kind.
+func (c Config) WithFilter(kind FilterKind) Config {
+	c.Filter.Kind = kind
+	return c
+}
+
+// WithTableEntries returns a copy of c with the history table resized.
+func (c Config) WithTableEntries(entries int) Config {
+	c.Filter.TableEntries = entries
+	return c
+}
+
+// WithL1Ports returns a copy of c with the §5.4 port/latency pairing:
+// 3 ports → 1 cycle, 4 ports → 2 cycles, 5 ports → 3 cycles (8KB L1).
+func (c Config) WithL1Ports(ports int) Config {
+	c.L1.Ports = ports
+	switch ports {
+	case 3:
+		c.L1.LatencyCycles = 1
+	case 4:
+		c.L1.LatencyCycles = 2
+	case 5:
+		c.L1.LatencyCycles = 3
+	}
+	return c
+}
+
+// WithPrefetchBuffer returns a copy of c with the dedicated buffer toggled.
+func (c Config) WithPrefetchBuffer(enable bool) Config {
+	c.Buffer.Enable = enable
+	return c
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate("l1"); err != nil {
+		return err
+	}
+	if err := c.L2.Validate("l2"); err != nil {
+		return err
+	}
+	if c.L1.LineBytes != c.L2.LineBytes {
+		return fmt.Errorf("l1 line size %d must equal l2 line size %d", c.L1.LineBytes, c.L2.LineBytes)
+	}
+	if c.MemoryLatency <= 0 {
+		return fmt.Errorf("memory latency must be positive, got %d", c.MemoryLatency)
+	}
+	if c.BusBytesPerCyc <= 0 {
+		return fmt.Errorf("bus bytes/cycle must be positive, got %d", c.BusBytesPerCyc)
+	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
+	}
+	if err := c.Filter.Validate(); err != nil {
+		return err
+	}
+	if err := c.Buffer.Validate(); err != nil {
+		return err
+	}
+	if c.VictimEntries < 0 {
+		return fmt.Errorf("victim entries must be non-negative, got %d", c.VictimEntries)
+	}
+	if c.MaxInstructions < 0 {
+		return fmt.Errorf("max instructions must be non-negative, got %d", c.MaxInstructions)
+	}
+	return nil
+}
+
+// MarshalJSON round-trips through an alias to keep the default encoder.
+func (c Config) String() string {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("config{error: %v}", err)
+	}
+	return string(b)
+}
+
+// Parse decodes a JSON configuration and validates it.
+func Parse(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,120 @@
+// Adaptive filter — the paper's proposed "advanced feature" (§5.2.1):
+// "our pollution filter can be made adaptive to start filtering when the
+// prefetching becomes too aggressive (with low accuracy)."
+//
+// The adaptive filter wraps a history-table filter and monitors observed
+// prefetch accuracy over a sliding window of eviction feedback. While the
+// measured good fraction stays at or above the engage threshold the filter
+// passes everything through (the prefetcher is accurate; filtering would
+// mostly cost good prefetches — the paper observes exactly this for SDP).
+// When accuracy drops below the threshold, the history table's predictions
+// take over. The table trains continuously either way, so it is warm the
+// moment filtering engages.
+package core
+
+// Adaptive wraps an inner table filter with an accuracy-gated bypass.
+type Adaptive struct {
+	inner     *TableFilter
+	threshold float64
+	window    int
+
+	// Sliding-window accounting over the last `window` feedback events.
+	ring    []bool // true = good
+	pos     int
+	filled  int
+	goodCnt int
+
+	engaged bool
+	// EngagedQueries counts queries decided by the table (vs bypassed).
+	EngagedQueries uint64
+
+	stats Stats
+}
+
+// NewAdaptive builds an adaptive filter around inner. Filtering engages
+// while the windowed good fraction is below threshold; window is the
+// number of feedback events the accuracy estimate covers.
+func NewAdaptive(inner *TableFilter, threshold float64, window int) *Adaptive {
+	if window <= 0 {
+		window = 1024
+	}
+	return &Adaptive{
+		inner:     inner,
+		threshold: threshold,
+		window:    window,
+		ring:      make([]bool, window),
+	}
+}
+
+// accuracy returns the good fraction over the current window; before the
+// window first fills it is computed over what has been seen. With no
+// feedback at all the prefetcher is presumed accurate (no filtering).
+func (a *Adaptive) accuracy() float64 {
+	if a.filled == 0 {
+		return 1
+	}
+	return float64(a.goodCnt) / float64(a.filled)
+}
+
+// Engaged reports whether predictions currently come from the table.
+func (a *Adaptive) Engaged() bool { return a.engaged }
+
+// Allow implements Filter.
+func (a *Adaptive) Allow(req Request) bool {
+	a.stats.Queries++
+	if !a.engaged {
+		return true
+	}
+	a.EngagedQueries++
+	// Delegate to the inner table but fold its decision into our stats;
+	// the inner filter's own stats track only delegated queries.
+	if a.inner.Allow(req) {
+		return true
+	}
+	a.stats.Rejected++
+	return false
+}
+
+// Train implements Filter: update the accuracy window, re-evaluate the
+// engage state, and always train the inner table.
+func (a *Adaptive) Train(fb Feedback) {
+	if fb.Referenced {
+		a.stats.TrainGood++
+	} else {
+		a.stats.TrainBad++
+	}
+	if a.filled == a.window {
+		if a.ring[a.pos] {
+			a.goodCnt--
+		}
+	} else {
+		a.filled++
+	}
+	a.ring[a.pos] = fb.Referenced
+	if fb.Referenced {
+		a.goodCnt++
+	}
+	a.pos++
+	if a.pos == a.window {
+		a.pos = 0
+	}
+	a.engaged = a.accuracy() < a.threshold
+	a.inner.Train(fb)
+}
+
+// Name implements Filter.
+func (a *Adaptive) Name() string { return a.inner.Name() + "-adaptive" }
+
+// Stats implements Filter.
+func (a *Adaptive) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the counters while keeping the accuracy window and
+// the inner history table warm (warmup boundary).
+func (a *Adaptive) ResetStats() {
+	a.stats = Stats{}
+	a.EngagedQueries = 0
+	a.inner.ResetStats()
+}
+
+// Inner exposes the wrapped table filter.
+func (a *Adaptive) Inner() *TableFilter { return a.inner }

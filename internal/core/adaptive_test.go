@@ -1,0 +1,121 @@
+package core
+
+import "testing"
+
+func newAdaptive(t *testing.T, threshold float64, window int) *Adaptive {
+	t.Helper()
+	inner, err := NewPA(64, 2, 2, IndexDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAdaptive(inner, threshold, window)
+}
+
+func TestAdaptiveStartsDisengaged(t *testing.T) {
+	a := newAdaptive(t, 0.5, 16)
+	if a.Engaged() {
+		t.Fatal("no feedback yet: should be disengaged")
+	}
+	// Even a key the inner table would reject passes while disengaged.
+	a.Inner().Train(Feedback{LineAddr: 1, Referenced: false})
+	if !a.Allow(Request{LineAddr: 1}) {
+		t.Fatal("disengaged adaptive filter must pass everything")
+	}
+}
+
+func TestAdaptiveEngagesOnLowAccuracy(t *testing.T) {
+	a := newAdaptive(t, 0.5, 16)
+	for i := 0; i < 16; i++ {
+		a.Train(Feedback{LineAddr: uint64(i), Referenced: false})
+	}
+	if !a.Engaged() {
+		t.Fatal("all-bad feedback should engage filtering")
+	}
+	// Inner table has been trained bad for those keys: now rejected.
+	if a.Allow(Request{LineAddr: 1}) {
+		t.Fatal("engaged filter should reject bad-trained keys")
+	}
+	s := a.Stats()
+	if s.Rejected == 0 {
+		t.Fatalf("rejections should be counted: %+v", s)
+	}
+}
+
+func TestAdaptiveDisengagesWhenAccuracyRecovers(t *testing.T) {
+	a := newAdaptive(t, 0.5, 8)
+	for i := 0; i < 8; i++ {
+		a.Train(Feedback{LineAddr: uint64(i), Referenced: false})
+	}
+	if !a.Engaged() {
+		t.Fatal("should engage")
+	}
+	// The window slides: 8 good feedbacks displace the bad ones.
+	for i := 0; i < 8; i++ {
+		a.Train(Feedback{LineAddr: uint64(100 + i), Referenced: true})
+	}
+	if a.Engaged() {
+		t.Fatal("recovered accuracy should disengage filtering")
+	}
+}
+
+func TestAdaptiveWindowSlides(t *testing.T) {
+	a := newAdaptive(t, 0.5, 4)
+	// good, good, bad, bad → 50%, not engaged (engage strictly below).
+	a.Train(Feedback{Referenced: true})
+	a.Train(Feedback{Referenced: true})
+	a.Train(Feedback{Referenced: false})
+	a.Train(Feedback{Referenced: false})
+	if a.Engaged() {
+		t.Fatal("exactly at threshold should not engage")
+	}
+	// One more bad displaces the oldest good: window = good,bad,bad,bad.
+	a.Train(Feedback{Referenced: false})
+	if !a.Engaged() {
+		t.Fatal("window should have slid to low accuracy")
+	}
+}
+
+func TestAdaptiveTrainsInnerWhileBypassed(t *testing.T) {
+	a := newAdaptive(t, 0.01, 1024) // practically never engages
+	for i := 0; i < 10; i++ {
+		a.Train(Feedback{LineAddr: 7, Referenced: false})
+	}
+	// The inner table must be warm even though filtering never engaged.
+	if a.Inner().Table().Counter(7) != 0 {
+		t.Fatal("inner table should train while bypassed")
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	a := newAdaptive(t, 0.5, 16)
+	if a.Name() != "pa-adaptive" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestAdaptiveDefaultWindow(t *testing.T) {
+	inner, _ := NewPA(64, 2, 2, IndexDirect)
+	a := NewAdaptive(inner, 0.5, 0)
+	if a.window != 1024 {
+		t.Fatalf("default window = %d", a.window)
+	}
+}
+
+func TestAdaptiveEngagedQueries(t *testing.T) {
+	a := newAdaptive(t, 0.99, 4)
+	for i := 0; i < 4; i++ {
+		a.Train(Feedback{Referenced: false})
+	}
+	a.Allow(Request{LineAddr: 50})
+	a.Allow(Request{LineAddr: 51})
+	if a.EngagedQueries != 2 {
+		t.Fatalf("EngagedQueries = %d", a.EngagedQueries)
+	}
+	a.ResetStats()
+	if a.EngagedQueries != 0 || a.Stats() != (Stats{}) {
+		t.Fatal("reset should clear counters")
+	}
+	if !a.Engaged() {
+		t.Fatal("engage state (accuracy window) must survive reset")
+	}
+}

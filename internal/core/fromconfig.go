@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// FromConfig instantiates the filter a configuration names. FilterStatic
+// cannot be built here — it needs a profiling run first; use
+// NewProfileCollector + Freeze (the experiment harness automates this).
+func FromConfig(cfg config.FilterConfig) (Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case config.FilterNone:
+		return NewNull(), nil
+	case config.FilterPA:
+		return NewPA(cfg.TableEntries, cfg.InitialCounter, cfg.Threshold, IndexDirect)
+	case config.FilterPC:
+		return NewPC(cfg.TableEntries, cfg.InitialCounter, cfg.Threshold, IndexDirect)
+	case config.FilterAdaptive:
+		inner, err := NewPA(cfg.TableEntries, cfg.InitialCounter, cfg.Threshold, IndexDirect)
+		if err != nil {
+			return nil, err
+		}
+		return NewAdaptive(inner, cfg.AdaptiveAccuracy, cfg.AdaptiveWindow), nil
+	case config.FilterStatic:
+		return nil, fmt.Errorf("core: static filter requires a profiling run; use NewProfileCollector then Freeze")
+	default:
+		return nil, fmt.Errorf("core: unknown filter kind %q", cfg.Kind)
+	}
+}

@@ -1,0 +1,142 @@
+// Static profile-driven filter — the Srinivasan et al. baseline (§2).
+//
+// The static filter collects per-key good/bad statistics in an offline
+// profiling run and then, in the measured run, drops every prefetch whose
+// profiled bad count dominates. Unlike the dynamic history table it cannot
+// adapt when the working set changes mid-run; the paper reports the
+// dynamic filter outperforming it, and the extras experiment reproduces
+// that comparison.
+package core
+
+import "sort"
+
+// ProfileCollector is a pass-through Filter that records eviction feedback
+// per key. Run a simulation with it installed, then Freeze the result into
+// a Static filter for the measured run.
+type ProfileCollector struct {
+	key   KeyFunc
+	name  string
+	good  map[uint64]uint64
+	bad   map[uint64]uint64
+	stats Stats
+}
+
+// NewProfileCollector returns a collector keyed like the eventual filter
+// (PAKey or PCKey).
+func NewProfileCollector(name string, key KeyFunc) *ProfileCollector {
+	return &ProfileCollector{
+		key:  key,
+		name: name,
+		good: make(map[uint64]uint64),
+		bad:  make(map[uint64]uint64),
+	}
+}
+
+// Allow implements Filter; profiling never filters.
+func (p *ProfileCollector) Allow(Request) bool {
+	p.stats.Queries++
+	return true
+}
+
+// Train implements Filter; it accumulates the profile.
+func (p *ProfileCollector) Train(fb Feedback) {
+	k := p.key(fb.LineAddr, fb.TriggerPC)
+	if fb.Referenced {
+		p.stats.TrainGood++
+		p.good[k]++
+	} else {
+		p.stats.TrainBad++
+		p.bad[k]++
+	}
+}
+
+// Name implements Filter.
+func (p *ProfileCollector) Name() string { return p.name + "-profile" }
+
+// Stats implements Filter.
+func (p *ProfileCollector) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters; the collected profile is state, not
+// statistics, and survives (warmup boundary).
+func (p *ProfileCollector) ResetStats() { p.stats = Stats{} }
+
+// Keys returns the distinct keys observed, sorted (deterministic output
+// for reports and tests).
+func (p *ProfileCollector) Keys() []uint64 {
+	seen := make(map[uint64]struct{}, len(p.good)+len(p.bad))
+	for k := range p.good {
+		seen[k] = struct{}{}
+	}
+	for k := range p.bad {
+		seen[k] = struct{}{}
+	}
+	out := make([]uint64, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Freeze converts the collected profile into a static filter that rejects
+// keys whose profiled good fraction is below minGoodFrac. Unprofiled keys
+// are allowed (the profile has nothing against them).
+func (p *ProfileCollector) Freeze(minGoodFrac float64) *Static {
+	block := make(map[uint64]struct{})
+	for _, k := range p.Keys() {
+		g, b := p.good[k], p.bad[k]
+		total := g + b
+		if total == 0 {
+			continue
+		}
+		if float64(g)/float64(total) < minGoodFrac {
+			block[k] = struct{}{}
+		}
+	}
+	return &Static{key: p.key, name: p.name, block: block}
+}
+
+// Static is the frozen profile-driven filter.
+type Static struct {
+	key   KeyFunc
+	name  string
+	block map[uint64]struct{}
+	stats Stats
+}
+
+// Allow implements Filter.
+func (s *Static) Allow(req Request) bool {
+	s.stats.Queries++
+	if _, blocked := s.block[s.key(req.LineAddr, req.TriggerPC)]; blocked {
+		s.stats.Rejected++
+		return false
+	}
+	return true
+}
+
+// Train implements Filter. A static filter never updates its decision set;
+// feedback is only counted so good/bad statistics stay comparable.
+func (s *Static) Train(fb Feedback) {
+	if fb.Referenced {
+		s.stats.TrainGood++
+	} else {
+		s.stats.TrainBad++
+	}
+}
+
+// Name implements Filter.
+func (s *Static) Name() string { return s.name + "-static" }
+
+// Stats implements Filter.
+func (s *Static) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (warmup boundary).
+func (s *Static) ResetStats() { s.stats = Stats{} }
+
+// BlockedKeys returns how many keys the profile blacklisted.
+func (s *Static) BlockedKeys() int { return len(s.block) }
+
+// ProfileCounts exposes the raw per-key tallies (diagnostics, reports).
+func (p *ProfileCollector) ProfileCounts(key uint64) (good, bad uint64) {
+	return p.good[key], p.bad[key]
+}

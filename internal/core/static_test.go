@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+func TestProfileCollectorPassThrough(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	for i := 0; i < 50; i++ {
+		if !p.Allow(Request{LineAddr: uint64(i)}) {
+			t.Fatal("collector must never filter")
+		}
+	}
+	if p.Stats().Queries != 50 {
+		t.Fatalf("queries = %d", p.Stats().Queries)
+	}
+	if p.Name() != "pa-profile" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestProfileFreezeBlocksBadKeys(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	// Key 1: always bad. Key 2: always good. Key 3: 50/50.
+	for i := 0; i < 10; i++ {
+		p.Train(Feedback{LineAddr: 1, Referenced: false})
+		p.Train(Feedback{LineAddr: 2, Referenced: true})
+		p.Train(Feedback{LineAddr: 3, Referenced: i%2 == 0})
+	}
+	s := p.Freeze(0.5)
+	if s.Name() != "pa-static" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if s.Allow(Request{LineAddr: 1}) {
+		t.Fatal("always-bad key must be blocked")
+	}
+	if !s.Allow(Request{LineAddr: 2}) {
+		t.Fatal("always-good key must pass")
+	}
+	if !s.Allow(Request{LineAddr: 3}) {
+		t.Fatal("50% good at threshold 0.5 must pass")
+	}
+	if !s.Allow(Request{LineAddr: 99}) {
+		t.Fatal("unprofiled key must pass")
+	}
+	if s.BlockedKeys() != 1 {
+		t.Fatalf("blocked = %d", s.BlockedKeys())
+	}
+}
+
+func TestStaticNeverAdapts(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	p.Train(Feedback{LineAddr: 1, Referenced: false})
+	s := p.Freeze(0.5)
+	// Heavy good feedback in the measured run must not unblock key 1 —
+	// that is the static filter's defining weakness (§2).
+	for i := 0; i < 100; i++ {
+		s.Train(Feedback{LineAddr: 1, Referenced: true})
+	}
+	if s.Allow(Request{LineAddr: 1}) {
+		t.Fatal("static filter must not adapt at runtime")
+	}
+	st := s.Stats()
+	if st.TrainGood != 100 {
+		t.Fatalf("feedback accounting lost: %+v", st)
+	}
+}
+
+func TestProfileKeysSortedDeterministic(t *testing.T) {
+	p := NewProfileCollector("pc", PCKey)
+	for _, k := range []uint64{40, 8, 24} {
+		p.Train(Feedback{TriggerPC: k << 2, Referenced: true})
+	}
+	p.Train(Feedback{TriggerPC: 16 << 2, Referenced: false})
+	keys := p.Keys()
+	want := []uint64{8, 16, 24, 40}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	p.Train(Feedback{LineAddr: 5, Referenced: true})
+	p.Train(Feedback{LineAddr: 5, Referenced: true})
+	p.Train(Feedback{LineAddr: 5, Referenced: false})
+	g, b := p.ProfileCounts(5)
+	if g != 2 || b != 1 {
+		t.Fatalf("counts = %d, %d", g, b)
+	}
+}
+
+func TestProfileResetKeepsProfile(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	p.Train(Feedback{LineAddr: 5, Referenced: false})
+	p.ResetStats()
+	if p.Stats() != (Stats{}) {
+		t.Fatal("stats should reset")
+	}
+	if g, b := p.ProfileCounts(5); g != 0 || b != 1 {
+		t.Fatal("profile data must survive a stats reset")
+	}
+}
+
+func TestFreezeThresholds(t *testing.T) {
+	p := NewProfileCollector("pa", PAKey)
+	for i := 0; i < 3; i++ {
+		p.Train(Feedback{LineAddr: 1, Referenced: true})
+	}
+	p.Train(Feedback{LineAddr: 1, Referenced: false}) // 75% good
+	if s := p.Freeze(0.5); s.BlockedKeys() != 0 {
+		t.Fatal("75% good should pass a 0.5 threshold")
+	}
+	if s := p.Freeze(0.9); s.BlockedKeys() != 1 {
+		t.Fatal("75% good should be blocked at a 0.9 threshold")
+	}
+}

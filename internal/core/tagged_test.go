@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaggedTableValidation(t *testing.T) {
+	if _, err := NewTaggedTable(1000, 8, 2, 2); err == nil {
+		t.Error("non-pow2 entries should fail")
+	}
+	if _, err := NewTaggedTable(64, 0, 2, 2); err == nil {
+		t.Error("zero tag bits should fail")
+	}
+	if _, err := NewTaggedTable(64, 17, 2, 2); err == nil {
+		t.Error("oversized tag should fail")
+	}
+	if _, err := NewTaggedTable(64, 8, 4, 2); err == nil {
+		t.Error("bad initial should fail")
+	}
+}
+
+func TestTaggedSizeBytes(t *testing.T) {
+	tt, _ := NewTaggedTable(4096, 8, 2, 2)
+	// 4096 * (2 + 8 + 1) bits = 45056 bits = 5632 bytes.
+	if got := tt.SizeBytes(); got != 5632 {
+		t.Fatalf("size = %d", got)
+	}
+	if tt.Entries() != 4096 {
+		t.Fatalf("entries = %d", tt.Entries())
+	}
+}
+
+func TestTaggedFreshKeyAllows(t *testing.T) {
+	tt, _ := NewTaggedTable(64, 8, 2, 2)
+	for key := uint64(0); key < 1000; key += 7 {
+		if !tt.Predict(key) {
+			t.Fatalf("fresh key %d should predict good", key)
+		}
+	}
+}
+
+func TestTaggedIsolatesAliases(t *testing.T) {
+	tt, _ := NewTaggedTable(64, 8, 2, 2)
+	// Keys 64 apart share an index but have different tags.
+	tt.Update(3, false) // trains entry 3 with tag 0
+	if tt.Predict(3) {
+		t.Fatal("trained key should be rejected")
+	}
+	// The aliased key sees a tag mismatch, so it gets the default allow —
+	// the interference the untagged table would have suffered is gone.
+	if !tt.Predict(3 + 64) {
+		t.Fatal("aliased key must not inherit a foreign counter")
+	}
+	if tt.Mismatches == 0 {
+		t.Fatal("tag mismatch should be counted")
+	}
+}
+
+func TestTaggedUpdateStealsEntry(t *testing.T) {
+	tt, _ := NewTaggedTable(64, 8, 2, 2)
+	tt.Update(3, false)
+	// A different key training the same entry replaces the tag.
+	tt.Update(3+64, false)
+	if tt.Predict(3 + 64) {
+		t.Fatal("stealing key should now own the entry")
+	}
+	// The original key is evicted: back to default allow.
+	if !tt.Predict(3) {
+		t.Fatal("evicted key should see the default prediction")
+	}
+}
+
+func TestTaggedFilterLifecycle(t *testing.T) {
+	f, err := NewTaggedPA(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "pa-tagged" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if !f.Allow(Request{LineAddr: 5}) {
+		t.Fatal("fresh key allowed")
+	}
+	f.Train(Feedback{LineAddr: 5, Referenced: false})
+	if f.Allow(Request{LineAddr: 5}) {
+		t.Fatal("trained-bad key rejected")
+	}
+	s := f.Stats()
+	if s.Queries != 2 || s.Rejected != 1 || s.TrainBad != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	f.ResetStats()
+	if f.Stats() != (Stats{}) {
+		t.Fatal("reset should zero stats")
+	}
+	if f.Allow(Request{LineAddr: 5}) {
+		t.Fatal("table must stay warm across reset")
+	}
+}
+
+func TestTaggedPCFilter(t *testing.T) {
+	f, err := NewTaggedPC(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Train(Feedback{TriggerPC: 0x400000, Referenced: false})
+	if f.Allow(Request{LineAddr: 999, TriggerPC: 0x400000}) {
+		t.Fatal("bad PC should reject regardless of address")
+	}
+}
+
+// Property: tagged and untagged tables agree on keys that never alias.
+func TestPropertyTaggedMatchesUntaggedWithoutAliasing(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		tagged, _ := NewTaggedTable(64, 8, 2, 2)
+		plain, _ := NewHistoryTable(64, 2, 2, IndexDirect)
+		key := uint64(5) // single key: no aliasing possible
+		for _, good := range outcomes {
+			tagged.Update(key, good)
+			plain.Update(key, good)
+			if tagged.Predict(key) != plain.Predict(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	p := DefaultParams()
+	p.MemAccess = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative energy should fail")
+	}
+}
+
+func TestEstimateRejectsBadLine(t *testing.T) {
+	if _, err := Estimate(DefaultParams(), stats.Run{}, 0); err == nil {
+		t.Fatal("zero line bytes should fail")
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	p := Params{
+		L1Access: 1, L1Probe: 0.5, L2Access: 10, MemAccess: 100,
+		BusPerByte: 0.1, TableOp: 0.01, LeakPerCyc: 0.001,
+	}
+	run := stats.Run{
+		Cycles:        1000,
+		FilterQueries: 50,
+		Prefetches:    stats.Prefetches{Good: 10, Bad: 20, Squashed: 40},
+		Traffic: stats.Traffic{
+			DemandAccesses:   100,
+			PrefetchAccesses: 30,
+			L2Accesses:       25,
+			MemAccesses:      5,
+		},
+	}
+	b, err := Estimate(p, run, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("L1", b.L1, 130*1+40*0.5)         // 130 accesses + 40 probes
+	check("L2", b.L2, 250)                  // 25 * 10
+	check("Memory", b.Memory, 500)          // 5 * 100
+	check("Bus", b.Bus, 5*32*0.1)           // 5 transfers * 32B
+	check("Filter", b.Filter, 0.01*(50+30)) // 50 queries + 30 trainings
+	check("Leakage", b.Leakage, 1)          // 1000 * 0.001
+	check("Total", b.Total(), b.L1+b.L2+b.Memory+b.Bus+b.Filter+b.Leakage)
+}
+
+func TestPerInstruction(t *testing.T) {
+	b := Breakdown{L1: 100}
+	if b.PerInstruction(50) != 2 {
+		t.Fatalf("per-instr = %v", b.PerInstruction(50))
+	}
+	if b.PerInstruction(0) != 0 {
+		t.Fatal("zero instructions should be 0")
+	}
+}
+
+func TestMemoryDominatesHierarchy(t *testing.T) {
+	// The model's defining property: a memory access costs far more than
+	// an L2 access, which costs more than an L1 access, which costs more
+	// than a table op. The filter's energy argument rests on this.
+	p := DefaultParams()
+	if !(p.MemAccess > p.L2Access && p.L2Access > p.L1Access && p.L1Access > p.TableOp) {
+		t.Fatalf("energy ordering broken: %+v", p)
+	}
+	if p.TableOp*2 > p.L1Access {
+		t.Fatal("a filter op must be far cheaper than the L1 access it can save")
+	}
+}

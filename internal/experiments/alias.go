@@ -1,0 +1,6 @@
+package experiments
+
+import "repro/internal/report"
+
+// reportTable is the concrete table type experiments produce.
+type reportTable = report.Table

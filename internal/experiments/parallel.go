@@ -1,0 +1,149 @@
+// Parallel pre-warming of the experiment cache.
+//
+// Every simulation is deterministic and independent, so the harness can
+// run them concurrently and let the experiments read memoized results.
+// Prewarm enumerates the standard evaluation matrix — every (benchmark,
+// config) pair the paper-figure experiments will request — and fills the
+// cache with a bounded worker pool, following the fixed-worker-pool idiom
+// (share memory by communicating: jobs flow down a channel, results are
+// installed under the cache lock).
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// cacheMu guards Params.cache. It is package-level rather than per-Params
+// because Params is copied by value in places; all Params sharing a cache
+// map share the zero-allocation global lock. Contention is irrelevant at
+// simulation granularity (milliseconds per critical section).
+var cacheMu sync.Mutex
+
+// cachedRun is the synchronized read side of the memo cache.
+func (p *Params) cachedRun(key string) (stats.Run, bool) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p.cache == nil {
+		return stats.Run{}, false
+	}
+	r, ok := p.cache[key]
+	return r, ok
+}
+
+// storeRun is the synchronized write side.
+func (p *Params) storeRun(key string, r stats.Run) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p.cache == nil {
+		p.cache = make(map[string]stats.Run)
+	}
+	p.cache[key] = r
+}
+
+// workItem is one simulation of the standard matrix.
+type workItem struct {
+	bench string
+	cfg   config.Config
+}
+
+// standardMatrix enumerates every (benchmark, config) pair the
+// paper-figure experiments request: the three-filter triples at 8KB and
+// 32KB, the no-prefetch Table 2 runs, the table-size and port sweeps, the
+// buffer schemes, and the 16KB comparison.
+func (p *Params) standardMatrix() []workItem {
+	var items []workItem
+	add := func(cfg config.Config) {
+		for _, b := range p.benchmarks() {
+			items = append(items, workItem{bench: b, cfg: cfg})
+		}
+	}
+	// Table 2: prefetch off.
+	add(sim.NoPrefetchConfig(config.Default()))
+	// Figures 1-9: filter triples on both cache sizes.
+	for _, base := range []config.Config{config.Default8K(), config.Default32K()} {
+		for _, kind := range []config.FilterKind{config.FilterNone, config.FilterPA, config.FilterPC} {
+			add(base.WithFilter(kind))
+		}
+	}
+	// Figures 10-12: table-size sweep (4096 already covered by the triple).
+	for _, size := range tableSizes {
+		add(config.Default().WithFilter(config.FilterPA).WithTableEntries(size))
+	}
+	// Figures 13-14: port sweep (3 ports covered above).
+	for _, ports := range portCounts {
+		add(config.Default().WithFilter(config.FilterPA).WithL1Ports(ports))
+	}
+	// Figures 15-16: buffer schemes.
+	for _, s := range bufferSchemes {
+		add(config.Default().WithFilter(s.kind).WithPrefetchBuffer(s.buffer))
+	}
+	// §5.2.1: 16KB comparison and the adaptive filter.
+	add(config.Default16K().WithFilter(config.FilterNone))
+	add(config.Default().WithFilter(config.FilterAdaptive))
+	return items
+}
+
+// Prewarm runs the standard matrix concurrently with the given number of
+// workers (<=0 selects GOMAXPROCS) and fills the cache. Returns the first
+// error encountered; the cache keeps whatever completed successfully.
+func (p *Params) Prewarm(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	items := p.standardMatrix()
+
+	// Deduplicate by cache key so each simulation runs exactly once.
+	seen := make(map[string]workItem, len(items))
+	for _, it := range items {
+		cfg := it.cfg
+		cfg.Seed = p.Seed
+		key := p.cacheKey(it.bench, cfg)
+		if _, dup := seen[key]; !dup {
+			if _, hit := p.cachedRun(key); !hit {
+				seen[key] = it
+			}
+		}
+	}
+
+	jobs := make(chan workItem)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				if _, err := p.run(it.bench, it.cfg); err != nil {
+					select {
+					case errs <- err:
+					default: // keep the first error only
+					}
+				}
+			}
+		}()
+	}
+	for _, it := range seen {
+		jobs <- it
+	}
+	close(jobs)
+	wg.Wait()
+
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// CachedRuns reports how many simulations the cache currently holds.
+func (p *Params) CachedRuns() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(p.cache)
+}

@@ -1,0 +1,678 @@
+// Package hier composes the memory hierarchy of the simulated machine:
+// L1 data cache → unified L2 → bus → main memory, plus the prefetch
+// machinery (hardware prefetchers, pollution filter, prefetch queue, and
+// the optional dedicated prefetch buffer of §5.5).
+//
+// The hierarchy owns the good/bad prefetch classification of §3: every
+// prefetched line carries PIB/RIB metadata; a demand reference sets RIB;
+// eviction (or end-of-run residency) classifies the prefetch and trains
+// the pollution filter.
+//
+// Timing model. The hierarchy is driven by the CPU's cycle clock. Demand
+// accesses compute their completion cycle through the levels (L1 hit
+// latency, + L2 latency on an L1 miss, + memory latency and bus transfer
+// on an L2 miss). Prefetches accepted by the filter wait in the prefetch
+// queue, consume leftover L1 ports to issue, and complete asynchronously:
+// a prefetch fill is installed only when its completion cycle arrives, so
+// a prefetch that issues too late — e.g. because port contention kept it
+// queued — arrives after the demand access it should have covered and is
+// classified bad, reproducing the §5.4 "procrastination turns good
+// prefetches into bad" effect.
+package hier
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/deadblock"
+	"repro/internal/memdram"
+	"repro/internal/pbuffer"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/taxonomy"
+	"repro/internal/victim"
+	"repro/internal/xrand"
+)
+
+// inflight is a prefetch fill in transit from L2/memory toward the L1.
+type inflight struct {
+	done      uint64 // cycle the fill arrives at the L1
+	lineAddr  uint64
+	triggerPC uint64
+	software  bool
+	source    string
+}
+
+// inflightHeap orders fills by completion cycle.
+type inflightHeap []inflight
+
+func (h inflightHeap) Len() int           { return len(h) }
+func (h inflightHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h inflightHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *inflightHeap) Push(x any)        { *h = append(*h, x.(inflight)) }
+func (h *inflightHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Hierarchy is the composed memory system.
+type Hierarchy struct {
+	cfg config.Config
+
+	L1     *cache.Cache
+	L2     *cache.Cache
+	Buffer *pbuffer.Buffer // nil unless cfg.Buffer.Enable
+	// Victim is the optional victim cache behind the L1 (nil unless
+	// cfg.VictimEntries > 0).
+	Victim *victim.Cache
+	Bus    *bus.Bus
+	Mem    *memdram.Memory
+
+	Filter core.Filter
+	HW     prefetch.Prefetcher // composite hardware prefetchers (may be empty)
+	Queue  *prefetch.Queue
+
+	// l2busyUntil serializes the single-ported L2 (pipelined occupancy).
+	l2busyUntil uint64
+
+	inflight    inflightHeap
+	inflightSet map[uint64]inflight
+	// merged counts, per line, prefetch fills that a demand miss already
+	// claimed (MSHR merge); Tick consumes one count per matching heap
+	// entry. A count (not a set): the same line can merge repeatedly if it
+	// is evicted and re-prefetched while older fills are still queued.
+	merged map[uint64]int
+
+	// Classification and traffic counters (read via Snapshot).
+	Pf      stats.Prefetches
+	Traffic stats.Traffic
+	// BySource counts issued prefetches per generator.
+	BySource map[string]uint64
+
+	// LatePrefetches counts fills that arrived after a demand access had
+	// already brought the line in (classified bad).
+	LatePrefetches uint64
+	// Merged counts demand misses that merged with an in-flight prefetch
+	// (MSHR behaviour); the prefetch classifies good.
+	Merged uint64
+
+	// Tax, when non-nil, records the full Srinivasan prefetch taxonomy
+	// (reference [17]) alongside the paper's 2-way classification. Pure
+	// instrumentation: it never affects timing or filtering.
+	Tax *taxonomy.Tracker
+
+	// Dead, when non-nil, enables the Lai et al. dead-block baseline: the
+	// predictor observes the L1 access/eviction stream and gates each
+	// prefetch on the predicted liveness of the line it would displace.
+	Dead *deadblock.Predictor
+	// DeadGated counts prefetches the dead-block gate dropped.
+	DeadGated uint64
+}
+
+// l2Occupancy is the pipelined issue interval of the single L2 port, in
+// cycles. The L2 has a 15-cycle latency but accepts a new access every
+// few cycles, as real pipelined SRAM arrays do.
+const l2Occupancy = 2
+
+// New builds the hierarchy from a validated config. The filter must be
+// non-nil (use core.NewNull for no filtering).
+func New(cfg config.Config, filter core.Filter, rng *xrand.Rand) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if filter == nil {
+		return nil, fmt.Errorf("hier: filter must not be nil")
+	}
+	if rng == nil {
+		rng = xrand.New(cfg.Seed)
+	}
+	l1, err := cache.New(cfg.L1, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("hier: l1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("hier: l2: %w", err)
+	}
+	b, err := bus.New(cfg.BusBytesPerCyc)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := memdram.New(cfg.MemoryLatency, 4)
+	if err != nil {
+		return nil, err
+	}
+	q, err := prefetch.NewQueue(cfg.Prefetch.QueueEntries)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:         cfg,
+		L1:          l1,
+		L2:          l2,
+		Bus:         b,
+		Mem:         mem,
+		Filter:      filter,
+		Queue:       q,
+		inflightSet: make(map[uint64]inflight),
+		merged:      make(map[uint64]int),
+		BySource:    make(map[string]uint64),
+	}
+	if cfg.Buffer.Enable {
+		pb, err := pbuffer.New(cfg.Buffer.Entries)
+		if err != nil {
+			return nil, err
+		}
+		h.Buffer = pb
+	}
+	if cfg.VictimEntries > 0 {
+		vc, err := victim.New(cfg.VictimEntries)
+		if err != nil {
+			return nil, err
+		}
+		h.Victim = vc
+	}
+	if cfg.Filter.Kind == config.FilterDeadBlock {
+		db, err := deadblock.New(cfg.Filter.TableEntries)
+		if err != nil {
+			return nil, err
+		}
+		h.Dead = db
+	}
+	var parts []prefetch.Prefetcher
+	if cfg.Prefetch.EnableNSP {
+		nsp, err := prefetch.NewNSP(cfg.Prefetch.Degree)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, nsp)
+	}
+	if cfg.Prefetch.EnableSDP {
+		sdp, err := prefetch.NewSDP(l2)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, sdp)
+	}
+	if cfg.Prefetch.EnableStride {
+		st, err := prefetch.NewStride(cfg.Prefetch.StrideEntries)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, st)
+	}
+	if cfg.Prefetch.EnableCorrelation {
+		corr, err := prefetch.NewCorrelation(cfg.Prefetch.CorrelationSets, cfg.Prefetch.CorrelationAssoc)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, corr)
+	}
+	h.HW = prefetch.NewComposite(parts...)
+	return h, nil
+}
+
+// Config returns the machine configuration.
+func (h *Hierarchy) Config() config.Config { return h.cfg }
+
+// LineAddr converts a byte address to a line address.
+func (h *Hierarchy) LineAddr(addr uint64) uint64 { return h.L1.LineAddr(addr) }
+
+// classifyEvicted handles a line leaving the L1: if it was a prefetch,
+// classify it and train the filter.
+func (h *Hierarchy) classifyEvicted(line cache.Line) {
+	if h.Dead != nil {
+		h.Dead.OnEvict(line)
+	}
+	if !line.PIB {
+		return
+	}
+	if line.RIB {
+		h.Pf.Good++
+	} else {
+		h.Pf.Bad++
+	}
+	h.Filter.Train(core.Feedback{
+		LineAddr:   line.Tag,
+		TriggerPC:  line.TriggerPC,
+		Referenced: line.RIB,
+	})
+	if h.Tax != nil {
+		h.Tax.OnEvict(line.Tag)
+	}
+}
+
+// l2Access models one access reaching the L2 at cycle `at`, returning the
+// cycle data is available to fill the L1. prefetch tags traffic.
+func (h *Hierarchy) l2Access(at uint64, lineAddr uint64, prefetchReq bool) (ready uint64, l2hit bool) {
+	// Single L2 port: serialize pipelined access slots.
+	start := at
+	if h.l2busyUntil > start {
+		start = h.l2busyUntil
+	}
+	h.l2busyUntil = start + l2Occupancy
+
+	h.Traffic.L2Accesses++
+	if prefetchReq {
+		h.Traffic.PrefetchL2++
+	} else {
+		h.L2.Stats.DemandAccesses++
+	}
+
+	if line, hit := h.L2.Lookup(lineAddr); hit {
+		_ = line
+		if !prefetchReq {
+			h.L2.Stats.DemandHits++
+		}
+		return start + uint64(h.cfg.L2.LatencyCycles), true
+	}
+	if !prefetchReq {
+		h.L2.Stats.DemandMisses++
+	}
+	// Miss: main memory + bus transfer back.
+	h.Traffic.MemAccesses++
+	if prefetchReq {
+		h.Traffic.PrefetchMem++
+	}
+	memReady := h.Mem.Request(start+uint64(h.cfg.L2.LatencyCycles), prefetchReq)
+	arrive := h.Bus.Request(memReady, h.cfg.L2.LineBytes, prefetchReq)
+
+	// Fill the L2. An L2 eviction may write back a dirty line over the bus.
+	installed, evicted, hadEvict := h.L2.Insert(lineAddr)
+	if prefetchReq {
+		h.L2.Stats.PrefetchFills++
+	} else {
+		h.L2.Stats.DemandFills++
+	}
+	_ = installed
+	if hadEvict && evicted.Dirty {
+		h.Bus.Request(arrive, h.cfg.L2.LineBytes, false)
+	}
+	return arrive, false
+}
+
+// fillL1 installs a line into the L1 and processes the eviction feedback.
+// The returned pointer addresses the installed line for metadata setup;
+// the evicted line (when any) is returned for the taxonomy hooks.
+func (h *Hierarchy) fillL1(lineAddr uint64, prefetchReq bool) (*cache.Line, cache.Line, bool) {
+	installed, evicted, hadEvict := h.L1.Insert(lineAddr)
+	if hadEvict {
+		h.classifyEvicted(evicted)
+		if h.Victim != nil {
+			// The victim cache captures the eviction; its own victim (if
+			// dirty) is what finally writes back.
+			if ve, vEvict := h.Victim.Insert(evicted.Tag, evicted.Dirty); vEvict && ve.Dirty {
+				h.writebackL2(ve.LineAddr)
+			}
+		} else if evicted.Dirty {
+			h.writebackL2(evicted.Tag)
+		}
+	}
+	if prefetchReq {
+		h.L1.Stats.PrefetchFills++
+	} else {
+		h.L1.Stats.DemandFills++
+	}
+	return installed, evicted, hadEvict
+}
+
+// writebackL2 pushes a dirty line into the L2 off the critical path:
+// pure occupancy on the L2 port, plus a bus transfer if the L2 must
+// evict its own dirty victim to memory.
+func (h *Hierarchy) writebackL2(lineAddr uint64) {
+	h.l2busyUntil += l2Occupancy
+	wb, _, wbEvict := h.L2.Insert(lineAddr)
+	wb.Dirty = true
+	if wbEvict {
+		h.Bus.Request(h.l2busyUntil, h.cfg.L2.LineBytes, false)
+	}
+}
+
+// DemandAccess runs one load/store through the hierarchy at cycle now and
+// returns the cycle its data is available. The caller has already charged
+// an L1 port for this access.
+func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (done uint64) {
+	lineAddr := h.L1.LineAddr(addr)
+	h.Traffic.DemandAccesses++
+	h.L1.Stats.DemandAccesses++
+	if h.Tax != nil {
+		h.Tax.OnDemandRef(lineAddr)
+	}
+
+	ev := prefetch.Event{PC: pc, LineAddr: lineAddr, IsStore: isStore}
+
+	if line, hit := h.L1.Lookup(lineAddr); hit {
+		h.L1.Stats.DemandHits++
+		if h.Dead != nil {
+			h.Dead.OnAccess(line, pc)
+		}
+		ev.L1Hit = true
+		// The NSP tag is "consumed" by the first demand reference: a hit
+		// on a not-yet-referenced prefetched line triggers the next-line
+		// prefetch; later hits do not re-trigger.
+		ev.L1HitTagged = line.PIB && !line.RIB
+		if line.PIB && !line.RIB {
+			line.RIB = true
+		}
+		if isStore {
+			line.Dirty = true
+		}
+		done = now + uint64(h.cfg.L1.LatencyCycles)
+		h.observe(now, ev)
+		return done
+	}
+	h.L1.Stats.DemandMisses++
+
+	// MSHR merge: a demand miss on a line with a prefetch already in
+	// flight waits for the prefetch's fill instead of launching its own
+	// request. The prefetch covered (part of) the miss latency, so the
+	// line is installed as a referenced prefetch — it will classify good
+	// at eviction and train the filter positively.
+	if f, busy := h.inflightSet[lineAddr]; busy {
+		delete(h.inflightSet, lineAddr)
+		h.merged[lineAddr]++ // Tick will skip one matching heap entry
+		h.Merged++
+		line, evicted, hadEvict := h.fillL1(lineAddr, true)
+		if h.Tax != nil {
+			h.Tax.OnPrefetchFill(lineAddr, evicted.Tag, hadEvict)
+			h.Tax.OnDemandRef(lineAddr) // the merging demand is the reference
+		}
+		line.PIB = true
+		line.RIB = true
+		line.TriggerPC = f.triggerPC
+		line.SoftPF = f.software
+		if isStore {
+			line.Dirty = true
+		}
+		done = f.done
+		if min := now + uint64(h.cfg.L1.LatencyCycles); done < min {
+			done = min
+		}
+		ev.L1Hit = true // the lower levels never see this access
+		h.observe(now, ev)
+		return done
+	}
+
+	// Probe the dedicated prefetch buffer in parallel with the L1.
+	if h.Buffer != nil {
+		if entry, hit := h.Buffer.Probe(lineAddr); hit {
+			// Promotion: the prefetch was good. Classify and train now;
+			// the line enters the L1 as an ordinary (PIB=0) line.
+			h.Pf.Good++
+			h.Filter.Train(core.Feedback{
+				LineAddr:   entry.LineAddr,
+				TriggerPC:  entry.TriggerPC,
+				Referenced: true,
+			})
+			installed, _, _ := h.fillL1(lineAddr, false)
+			if isStore {
+				installed.Dirty = true
+			}
+			ev.L1Hit = true // from the prefetchers' perspective: no L2 access
+			h.observe(now, ev)
+			return now + uint64(h.cfg.L1.LatencyCycles)
+		}
+	}
+
+	// Probe the victim cache: a hit swaps the line back into the L1 in
+	// one extra cycle, never touching the L2.
+	if h.Victim != nil {
+		if vEntry, hit := h.Victim.Probe(lineAddr); hit {
+			installed, _, _ := h.fillL1(lineAddr, false)
+			installed.Dirty = vEntry.Dirty || isStore
+			if h.Dead != nil {
+				h.Dead.OnFill(installed, pc)
+			}
+			ev.L1Hit = true // the lower levels never see this access
+			h.observe(now, ev)
+			return now + uint64(h.cfg.L1.LatencyCycles) + 1
+		}
+	}
+
+	ready, l2hit := h.l2Access(now+uint64(h.cfg.L1.LatencyCycles), lineAddr, false)
+	ev.L2Hit = l2hit
+	installed, _, _ := h.fillL1(lineAddr, false)
+	if h.Dead != nil {
+		h.Dead.OnFill(installed, pc)
+	}
+	if isStore {
+		installed.Dirty = true
+	}
+	h.observe(now, ev)
+	return ready
+}
+
+// SoftwarePrefetch routes a software prefetch instruction (identified in
+// the LSQ) through the pollution filter into the prefetch queue. It does
+// not consume an L1 port; the eventual fill does, via IssuePrefetches.
+func (h *Hierarchy) SoftwarePrefetch(now uint64, pc, addr uint64) {
+	if !h.cfg.Prefetch.EnableSoftware {
+		return
+	}
+	h.submit(now, prefetch.Candidate{
+		LineAddr:  h.L1.LineAddr(addr),
+		TriggerPC: pc,
+		Software:  true,
+		Source:    "sw",
+	})
+}
+
+// observe feeds the demand access to the hardware prefetchers and submits
+// whatever they generate.
+func (h *Hierarchy) observe(now uint64, ev prefetch.Event) {
+	h.HW.Observe(ev, func(c prefetch.Candidate) { h.submit(now, c) })
+}
+
+// submit runs one candidate through duplicate squashing and the pollution
+// filter, then enqueues it.
+func (h *Hierarchy) submit(now uint64, c prefetch.Candidate) {
+	// Squash duplicates: already resident, already in flight, or already
+	// queued. No penalty (paper §5.1).
+	if h.L1.Contains(c.LineAddr) {
+		h.Pf.Squashed++
+		return
+	}
+	if h.Buffer != nil && h.Buffer.Contains(c.LineAddr) {
+		h.Pf.Squashed++
+		return
+	}
+	if _, busy := h.inflightSet[c.LineAddr]; busy {
+		h.Pf.Squashed++
+		return
+	}
+	if h.Queue.Contains(c.LineAddr) {
+		h.Pf.Squashed++
+		return
+	}
+
+	if !h.Filter.Allow(core.Request{LineAddr: c.LineAddr, TriggerPC: c.TriggerPC, Software: c.Software}) {
+		h.Pf.Filtered++
+		return
+	}
+	if h.Dead != nil && !h.Dead.AllowPrefetch(h.L1, c.LineAddr) {
+		h.DeadGated++
+		h.Pf.Filtered++
+		return
+	}
+	if !h.Queue.Enqueue(c, now) {
+		h.Pf.Overflow++
+	}
+}
+
+// IssuePrefetches lets up to ports queued prefetches start their fills at
+// cycle now, returning how many L1 ports were consumed. Prefetches found
+// to be redundant at issue time are squashed without consuming a port.
+func (h *Hierarchy) IssuePrefetches(now uint64, ports int) (used int) {
+	for used < ports {
+		qc, ok := h.Queue.Front()
+		if !ok {
+			return used
+		}
+		// Re-check residency: state may have changed while queued.
+		if h.L1.Contains(qc.LineAddr) ||
+			(h.Buffer != nil && h.Buffer.Contains(qc.LineAddr)) {
+			h.Queue.Dequeue()
+			h.Pf.Squashed++
+			continue
+		}
+		if _, busy := h.inflightSet[qc.LineAddr]; busy {
+			h.Queue.Dequeue()
+			h.Pf.Squashed++
+			continue
+		}
+		h.Queue.Dequeue()
+		used++
+
+		// The prefetch occupies an L1 port this cycle and then walks the
+		// lower hierarchy like a demand miss, tagged as prefetch traffic.
+		h.Traffic.PrefetchAccesses++
+		ready, _ := h.l2Access(now+uint64(h.cfg.L1.LatencyCycles), qc.LineAddr, true)
+		h.Pf.Issued++
+		h.BySource[qc.Source]++
+		f := inflight{
+			done:      ready,
+			lineAddr:  qc.LineAddr,
+			triggerPC: qc.TriggerPC,
+			software:  qc.Software,
+			source:    qc.Source,
+		}
+		heap.Push(&h.inflight, f)
+		h.inflightSet[qc.LineAddr] = f
+	}
+	return used
+}
+
+// Tick completes prefetch fills whose data has arrived by cycle now. A
+// fill whose line was demand-fetched while the prefetch was in flight is
+// late: it is dropped and classified bad (the prefetch did not cover the
+// demand access).
+func (h *Hierarchy) Tick(now uint64) {
+	for len(h.inflight) > 0 && h.inflight[0].done <= now {
+		f := heap.Pop(&h.inflight).(inflight)
+		if n := h.merged[f.lineAddr]; n > 0 {
+			// A demand miss already claimed this fill; the line was
+			// installed (as a referenced prefetch) at merge time. Guard
+			// against consuming the marker for a *live* in-flight entry
+			// that happens to complete on the same cycle: merge markers
+			// belong only to entries no longer tracked in inflightSet.
+			if cur, live := h.inflightSet[f.lineAddr]; !live || cur != f {
+				if n == 1 {
+					delete(h.merged, f.lineAddr)
+				} else {
+					h.merged[f.lineAddr] = n - 1
+				}
+				continue
+			}
+		}
+		delete(h.inflightSet, f.lineAddr)
+		if h.L1.Contains(f.lineAddr) || (h.Buffer != nil && h.Buffer.Contains(f.lineAddr)) {
+			h.LatePrefetches++
+			h.Pf.Bad++
+			h.Filter.Train(core.Feedback{
+				LineAddr:   f.lineAddr,
+				TriggerPC:  f.triggerPC,
+				Referenced: false,
+			})
+			continue
+		}
+		if h.Buffer != nil {
+			evicted, hadEvict := h.Buffer.Insert(f.lineAddr, f.triggerPC, f.software)
+			if hadEvict {
+				if evicted.Referenced {
+					h.Pf.Good++
+				} else {
+					h.Pf.Bad++
+				}
+				h.Filter.Train(core.Feedback{
+					LineAddr:   evicted.LineAddr,
+					TriggerPC:  evicted.TriggerPC,
+					Referenced: evicted.Referenced,
+				})
+			}
+			continue
+		}
+		line, evicted, hadEvict := h.fillL1(f.lineAddr, true)
+		if h.Tax != nil {
+			h.Tax.OnPrefetchFill(f.lineAddr, evicted.Tag, hadEvict)
+		}
+		line.PIB = true
+		line.RIB = false
+		line.TriggerPC = f.triggerPC
+		line.SoftPF = f.software
+	}
+}
+
+// ResetStats zeroes every statistic accumulated so far while leaving all
+// architectural state — cache contents, shadow directories, the filter's
+// history table, queued and in-flight prefetches — warm. Used to exclude
+// cold-start effects from measurement after a warmup phase.
+func (h *Hierarchy) ResetStats() {
+	h.Pf = stats.Prefetches{}
+	h.Traffic = stats.Traffic{}
+	h.BySource = make(map[string]uint64)
+	h.LatePrefetches = 0
+	h.Merged = 0
+	h.DeadGated = 0
+	if h.Dead != nil {
+		h.Dead.ResetStats()
+	}
+	h.L1.Stats = cache.Stats{}
+	h.L2.Stats = cache.Stats{}
+	h.Bus.ResetStats()
+	h.Mem.Requests, h.Mem.PrefetchRequests, h.Mem.QueueStalls = 0, 0, 0
+	h.Queue.Enqueued, h.Queue.Squashed, h.Queue.Overflows, h.Queue.Dequeued = 0, 0, 0, 0
+	if r, ok := h.Filter.(interface{ ResetStats() }); ok {
+		r.ResetStats()
+	}
+	if h.Tax != nil {
+		h.Tax.ResetCounts()
+	}
+}
+
+// QueuedPrefetches returns the current prefetch queue depth.
+func (h *Hierarchy) QueuedPrefetches() int { return h.Queue.Len() }
+
+// InFlight returns the number of outstanding prefetch fills.
+func (h *Hierarchy) InFlight() int { return len(h.inflight) }
+
+// Finish classifies state left at end of run: resident prefetched L1
+// lines (by RIB), resident buffer entries (by Referenced), and completes
+// all in-flight fills so counter conservation holds. Queued-but-unissued
+// prefetches are counted as overflow casualties.
+func (h *Hierarchy) Finish() {
+	// Complete whatever is still in flight.
+	h.Tick(^uint64(0))
+
+	for _, qc := range h.Queue.Drain() {
+		_ = qc
+		h.Pf.Overflow++
+	}
+
+	h.L1.ForEach(func(line *cache.Line) {
+		if !line.PIB {
+			return
+		}
+		if line.RIB {
+			h.Pf.Good++
+			h.Pf.ResidentGood++
+		} else {
+			h.Pf.Bad++
+			h.Pf.ResidentBad++
+		}
+	})
+	if h.Buffer != nil {
+		for _, e := range h.Buffer.Drain() {
+			if e.Referenced {
+				h.Pf.Good++
+				h.Pf.ResidentGood++
+			} else {
+				h.Pf.Bad++
+				h.Pf.ResidentBad++
+			}
+		}
+	}
+	if h.Tax != nil {
+		h.Tax.Finish()
+	}
+}

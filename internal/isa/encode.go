@@ -1,0 +1,209 @@
+// Binary trace file format.
+//
+// Layout: an 16-byte header ("PFTRACE1", record count as uint64 LE),
+// followed by variable-length records. Each record is:
+//
+//	byte 0      op (low 6 bits) | dep flag (bit 6) | taken flag (bit 7)
+//	varint      PC delta from previous PC (zig-zag encoded)
+//	varint      Addr (absolute, only for ops that carry an address)
+//
+// PC deltas are almost always +4, so traces compress to ~3 bytes per
+// ALU/branch record and ~8-10 bytes per memory record.
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var traceMagic = [8]byte{'P', 'F', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// ErrBadMagic is returned when a trace file does not start with the
+// expected magic bytes.
+var ErrBadMagic = errors.New("isa: not a PFTRACE1 trace file")
+
+const (
+	takenFlag = 0x80
+	depFlag   = 0x40
+)
+
+// Writer encodes records into a trace stream. Call Close to flush and
+// finalize; the record count in the header is patched only by WriteTrace
+// (which buffers), so streaming writers record a zero count and readers
+// fall back to reading until EOF.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	err    error
+}
+
+// NewWriter writes a header and returns a streaming trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("isa: writing magic: %w", err)
+	}
+	var hdr [8]byte // record count unknown while streaming; zero = "until EOF"
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write encodes one record.
+func (t *Writer) Write(r Record) error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := r.Validate(); err != nil {
+		t.err = err
+		return err
+	}
+	head := byte(r.Op)
+	if r.Taken {
+		head |= takenFlag
+	}
+	if r.Dep {
+		head |= depFlag
+	}
+	if err := t.w.WriteByte(head); err != nil {
+		t.err = err
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], int64(r.PC)-int64(t.lastPC))
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+		return err
+	}
+	t.lastPC = r.PC
+	if r.Op.IsMem() || (r.Op == OpBranch && r.Taken) {
+		n = binary.PutUvarint(buf[:], r.Addr)
+		if _, err := t.w.Write(buf[:n]); err != nil {
+			t.err = err
+			return err
+		}
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close flushes buffered data. The underlying writer is not closed.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace stream. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	err    error
+}
+
+// NewReader validates the header and returns a streaming trace reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading header: %w", err)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Source. After exhaustion or a decode error, Next keeps
+// returning false; check Err to distinguish clean EOF from corruption.
+func (t *Reader) Next() (Record, bool) {
+	if t.err != nil {
+		return Record{}, false
+	}
+	head, err := t.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			t.err = err
+		} else {
+			t.err = io.EOF
+		}
+		return Record{}, false
+	}
+	var rec Record
+	rec.Op = Op(head &^ (takenFlag | depFlag))
+	rec.Taken = head&takenFlag != 0
+	rec.Dep = head&depFlag != 0
+	if !rec.Op.Valid() {
+		t.err = fmt.Errorf("isa: invalid op byte %#x", head)
+		return Record{}, false
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("isa: reading PC delta: %w", err)
+		return Record{}, false
+	}
+	rec.PC = uint64(int64(t.lastPC) + delta)
+	t.lastPC = rec.PC
+	if rec.Op.IsMem() || (rec.Op == OpBranch && rec.Taken) {
+		addr, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("isa: reading address: %w", err)
+			return Record{}, false
+		}
+		rec.Addr = addr
+	}
+	return rec, true
+}
+
+// Err returns nil after a clean end of trace, or the decode error that
+// stopped the reader.
+func (t *Reader) Err() error {
+	if t.err == io.EOF {
+		return nil
+	}
+	return t.err
+}
+
+// WriteTrace encodes all of recs to w.
+func WriteTrace(w io.Writer, recs []Record) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// ReadTrace decodes an entire trace from r.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, ok := tr.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, tr.Err()
+}

@@ -1,0 +1,219 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randomTrace(seed uint64, n int) []Record {
+	r := xrand.New(seed)
+	recs := make([]Record, 0, n)
+	pc := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		pc += 4
+		switch r.Intn(5) {
+		case 0:
+			recs = append(recs, ALU(pc))
+		case 1:
+			recs = append(recs, Load(pc, r.Uint64n(1<<40)))
+		case 2:
+			recs = append(recs, Store(pc, r.Uint64n(1<<40)))
+		case 3:
+			recs = append(recs, Branch(pc, (r.Uint64n(1<<30))<<2, r.Bool(0.5)))
+		default:
+			rec := Prefetch(pc, r.Uint64n(1<<40))
+			rec.Dep = r.Bool(0.3)
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := randomTrace(1, 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		want := recs[i]
+		// Untaken branches don't carry their target through encoding.
+		if want.Op == OpBranch && !want.Taken {
+			want.Addr = 0
+		}
+		if got[i] != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		recs := randomTrace(seed, n)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			want := recs[i]
+			if want.Op == OpBranch && !want.Taken {
+				want.Addr = 0
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteTrace(nil): %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty, got %d", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOTATRACE_______"))); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("PFT"))); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	recs := randomTrace(2, 100)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated trace should surface a decode error")
+	}
+}
+
+func TestInvalidOpByte(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x3f) // op bits = 63: invalid
+	buf.WriteByte(0x00) // pc delta 0
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("invalid op should stop the reader")
+	}
+	if r.Err() == nil {
+		t.Fatal("invalid op should be an error")
+	}
+}
+
+func TestWriterRejectsInvalidRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Op: Op(77), PC: 4}); err == nil {
+		t.Fatal("invalid record should fail")
+	}
+	// Writer is poisoned after an error.
+	if err := w.Write(ALU(4)); err == nil {
+		t.Fatal("writes after an error should keep failing")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		if err := w.Write(ALU(uint64(i) * 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestCompressionDensity(t *testing.T) {
+	// Sequential ALU records should encode to ~2 bytes each.
+	recs := make([]Record, 10000)
+	for i := range recs {
+		recs[i] = ALU(uint64(0x400000 + i*4))
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()-16) / float64(len(recs))
+	if perRecord > 3 {
+		t.Fatalf("sequential ALU records cost %.1f bytes each, want <= 3", perRecord)
+	}
+}
+
+func TestReaderAsSource(t *testing.T) {
+	recs := randomTrace(3, 50)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src Source = r // Reader must satisfy Source
+	if got := len(Collect(src, 0)); got != 50 {
+		t.Fatalf("collected %d", got)
+	}
+}

@@ -1,0 +1,60 @@
+// Package memdram models main memory behind the L2: a fixed leadoff
+// latency (Table 1: 150 core cycles) plus the bus transfer time, with a
+// small number of concurrently outstanding requests.
+//
+// The model is deliberately simple — the paper's machine uses a flat
+// 150-cycle memory — but it tracks enough (request counts, busy banks) to
+// expose the bandwidth pressure that aggressive prefetching creates.
+package memdram
+
+import "fmt"
+
+// Memory is the DRAM model.
+type Memory struct {
+	latency  uint64
+	channels []uint64 // per-channel busy-until, for limited concurrency
+
+	Requests         uint64
+	PrefetchRequests uint64
+	QueueStalls      uint64 // cycles requests waited for a free channel
+}
+
+// New builds a memory with the given leadoff latency (cycles) and number
+// of concurrently serviceable requests (channels/banks).
+func New(latencyCycles, channels int) (*Memory, error) {
+	if latencyCycles <= 0 {
+		return nil, fmt.Errorf("memdram: latency must be positive, got %d", latencyCycles)
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("memdram: channels must be positive, got %d", channels)
+	}
+	return &Memory{latency: uint64(latencyCycles), channels: make([]uint64, channels)}, nil
+}
+
+// Latency returns the configured leadoff latency in cycles.
+func (m *Memory) Latency() uint64 { return m.latency }
+
+// Request schedules a memory access starting at cycle now and returns the
+// cycle the line is available at the memory controller (before the bus
+// transfer back). prefetch tags the request for accounting.
+func (m *Memory) Request(now uint64, prefetch bool) (ready uint64) {
+	// Pick the channel that frees earliest.
+	best := 0
+	for i := range m.channels {
+		if m.channels[i] < m.channels[best] {
+			best = i
+		}
+	}
+	start := now
+	if m.channels[best] > start {
+		m.QueueStalls += m.channels[best] - start
+		start = m.channels[best]
+	}
+	ready = start + m.latency
+	m.channels[best] = ready
+	m.Requests++
+	if prefetch {
+		m.PrefetchRequests++
+	}
+	return ready
+}

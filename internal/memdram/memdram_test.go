@@ -1,0 +1,65 @@
+package memdram
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("zero latency should fail")
+	}
+	if _, err := New(150, 0); err == nil {
+		t.Fatal("zero channels should fail")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	m, _ := New(150, 4)
+	if m.Latency() != 150 {
+		t.Fatalf("latency = %d", m.Latency())
+	}
+	if ready := m.Request(1000, false); ready != 1150 {
+		t.Fatalf("ready = %d, want 1150", ready)
+	}
+}
+
+func TestChannelConcurrency(t *testing.T) {
+	m, _ := New(100, 2)
+	// Two requests at the same cycle use separate channels.
+	r1 := m.Request(0, false)
+	r2 := m.Request(0, false)
+	if r1 != 100 || r2 != 100 {
+		t.Fatalf("parallel requests: %d, %d", r1, r2)
+	}
+	// Third queues behind the earliest-free channel.
+	r3 := m.Request(0, false)
+	if r3 != 200 {
+		t.Fatalf("queued request ready = %d, want 200", r3)
+	}
+	if m.QueueStalls != 100 {
+		t.Fatalf("stalls = %d", m.QueueStalls)
+	}
+}
+
+func TestPrefetchTagging(t *testing.T) {
+	m, _ := New(10, 1)
+	m.Request(0, true)
+	m.Request(100, false)
+	m.Request(200, true)
+	if m.Requests != 3 || m.PrefetchRequests != 2 {
+		t.Fatalf("counts: %d total, %d prefetch", m.Requests, m.PrefetchRequests)
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	m, _ := New(10, 1)
+	last := uint64(0)
+	for i := 0; i < 5; i++ {
+		last = m.Request(0, false)
+	}
+	if last != 50 {
+		t.Fatalf("5 serialized requests on one channel should finish at 50, got %d", last)
+	}
+	// After the backlog, a late request sees an idle channel.
+	if ready := m.Request(1000, false); ready != 1010 {
+		t.Fatalf("idle-channel request ready = %d", ready)
+	}
+}

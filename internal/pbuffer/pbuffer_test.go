@@ -1,0 +1,119 @@
+package pbuffer
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero entries should fail")
+	}
+	b, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Capacity() != 16 {
+		t.Fatalf("capacity = %d", b.Capacity())
+	}
+}
+
+func TestInsertProbePromote(t *testing.T) {
+	b, _ := New(4)
+	b.Insert(100, 0x400000, false)
+	if !b.Contains(100) {
+		t.Fatal("inserted line should be resident")
+	}
+	e, hit := b.Probe(100)
+	if !hit || e.LineAddr != 100 || e.TriggerPC != 0x400000 {
+		t.Fatalf("probe = %+v, %v", e, hit)
+	}
+	if !e.Referenced {
+		t.Fatal("probe must mark the entry referenced")
+	}
+	// Promotion removes the line from the buffer.
+	if b.Contains(100) {
+		t.Fatal("promoted line must leave the buffer")
+	}
+	if b.Hits != 1 {
+		t.Fatalf("hits = %d", b.Hits)
+	}
+}
+
+func TestProbeMiss(t *testing.T) {
+	b, _ := New(4)
+	if _, hit := b.Probe(1); hit {
+		t.Fatal("empty buffer should miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	b, _ := New(2)
+	b.Insert(1, 0, false)
+	b.Insert(2, 0, false)
+	// Refresh 1 via duplicate insert: 2 becomes LRU.
+	b.Insert(1, 0, false)
+	evicted, had := b.Insert(3, 0, false)
+	if !had || evicted.LineAddr != 2 {
+		t.Fatalf("expected eviction of 2, got %+v had=%v", evicted, had)
+	}
+	if b.BadEvicts != 1 || b.GoodEvicts != 0 {
+		t.Fatalf("unreferenced eviction should count bad: %+v", *b)
+	}
+}
+
+func TestDuplicateInsertNoEvict(t *testing.T) {
+	b, _ := New(2)
+	b.Insert(5, 0, false)
+	if _, had := b.Insert(5, 0, false); had {
+		t.Fatal("duplicate insert must not evict")
+	}
+	if b.ValidEntries() != 1 {
+		t.Fatalf("entries = %d", b.ValidEntries())
+	}
+}
+
+func TestFillsCounting(t *testing.T) {
+	b, _ := New(4)
+	b.Insert(1, 0, true)
+	b.Insert(2, 0, false)
+	b.Insert(1, 0, false) // duplicate refresh still counts nothing new? It counts Fills.
+	if b.Fills != 2 {
+		t.Fatalf("fills = %d (duplicates refresh recency without a new fill)", b.Fills)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	b, _ := New(4)
+	b.Insert(1, 0, false)
+	b.Insert(2, 0, false)
+	b.Probe(1) // promote 1 away
+	b.Insert(3, 0, true)
+	out := b.Drain()
+	if len(out) != 2 {
+		t.Fatalf("drained %d entries", len(out))
+	}
+	if b.ValidEntries() != 0 {
+		t.Fatal("drain should empty the buffer")
+	}
+	// Software flag survives.
+	found := false
+	for _, e := range out {
+		if e.LineAddr == 3 && e.Software {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("software flag lost in drain")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	b, _ := New(3)
+	for la := uint64(0); la < 100; la++ {
+		b.Insert(la, 0, false)
+		if b.ValidEntries() > 3 {
+			t.Fatalf("buffer exceeded capacity at %d", la)
+		}
+	}
+	if b.Evictions != 97 {
+		t.Fatalf("evictions = %d", b.Evictions)
+	}
+}

@@ -1,0 +1,227 @@
+// Package predictor implements the branch prediction hardware of the
+// simulated core and the 2-bit saturating counter shared with the pollution
+// filter's history table.
+//
+// Table 1 of the paper specifies a 2048-entry bimodal predictor and a
+// 4-way, 4096-set branch target buffer. The counter semantics are the
+// classic Smith counter: increment on taken, decrement on not-taken,
+// saturating at [0, 3]; values >= 2 predict taken.
+package predictor
+
+import "fmt"
+
+// SatCounter is a 2-bit saturating counter. The zero value is a strongly
+// not-taken counter.
+type SatCounter uint8
+
+// Counter bounds and the conventional state names.
+const (
+	StrongNotTaken SatCounter = 0
+	WeakNotTaken   SatCounter = 1
+	WeakTaken      SatCounter = 2
+	StrongTaken    SatCounter = 3
+	counterMax     SatCounter = 3
+)
+
+// Inc returns the counter incremented with saturation.
+func (c SatCounter) Inc() SatCounter {
+	if c >= counterMax {
+		return counterMax
+	}
+	return c + 1
+}
+
+// Dec returns the counter decremented with saturation.
+func (c SatCounter) Dec() SatCounter {
+	if c == 0 {
+		return 0
+	}
+	return c - 1
+}
+
+// Taken reports the counter's prediction with the standard >= 2 threshold.
+func (c SatCounter) Taken() bool { return c >= WeakTaken }
+
+// Update returns the counter trained toward the outcome.
+func (c SatCounter) Update(taken bool) SatCounter {
+	if taken {
+		return c.Inc()
+	}
+	return c.Dec()
+}
+
+// Valid reports whether the counter holds a representable 2-bit value.
+func (c SatCounter) Valid() bool { return c <= counterMax }
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []SatCounter
+	mask  uint64
+}
+
+// NewBimodal allocates a predictor with the given power-of-two entry count.
+// Counters start weakly taken, the usual reset state for loop-heavy code.
+func NewBimodal(entries int) (*Bimodal, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("predictor: bimodal entries must be a positive power of two, got %d", entries)
+	}
+	b := &Bimodal{table: make([]SatCounter, entries), mask: uint64(entries - 1)}
+	for i := range b.table {
+		b.table[i] = WeakTaken
+	}
+	return b, nil
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].Taken() }
+
+// Update trains the counter for pc toward the resolved direction.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].Update(taken)
+}
+
+// Entries returns the table length.
+func (b *Bimodal) Entries() int { return len(b.table) }
+
+// btbEntry is one BTB way: a tag and the cached target.
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint64 // larger = more recently used
+}
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+type BTB struct {
+	sets    [][]btbEntry
+	setMask uint64
+	tick    uint64
+}
+
+// NewBTB allocates a BTB with the given power-of-two set count and
+// associativity.
+func NewBTB(sets, assoc int) (*BTB, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("predictor: BTB sets must be a positive power of two, got %d", sets)
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("predictor: BTB associativity must be positive, got %d", assoc)
+	}
+	b := &BTB{sets: make([][]btbEntry, sets), setMask: uint64(sets - 1)}
+	for i := range b.sets {
+		b.sets[i] = make([]btbEntry, assoc)
+	}
+	return b, nil
+}
+
+func (b *BTB) split(pc uint64) (set, tag uint64) {
+	idx := pc >> 2
+	return idx & b.setMask, idx >> uint(trailingOnes(b.setMask))
+}
+
+// Lookup returns the cached target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	set, tag := b.split(pc)
+	ways := b.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			b.tick++
+			ways[i].lru = b.tick
+			return ways[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the resolved target for a taken branch at pc, evicting the
+// least-recently-used way on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	set, tag := b.split(pc)
+	ways := b.sets[set]
+	b.tick++
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].target = target
+			ways[i].lru = b.tick
+			return
+		}
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.tick}
+}
+
+// trailingOnes counts the number of set low bits in a contiguous low mask.
+func trailingOnes(mask uint64) int {
+	n := 0
+	for mask&1 == 1 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Unit couples a bimodal predictor with a BTB and tracks accuracy, giving
+// the CPU model a single prediction interface.
+type Unit struct {
+	Bimodal *Bimodal
+	BTB     *BTB
+
+	Predictions    uint64
+	Mispredictions uint64
+}
+
+// NewUnit builds the Table 1 branch unit.
+func NewUnit(bimodalEntries, btbSets, btbAssoc int) (*Unit, error) {
+	bm, err := NewBimodal(bimodalEntries)
+	if err != nil {
+		return nil, err
+	}
+	btb, err := NewBTB(btbSets, btbAssoc)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Bimodal: bm, BTB: btb}, nil
+}
+
+// Resolve runs the full predict-then-train flow for a resolved branch and
+// reports whether the prediction was correct. A taken prediction with a BTB
+// miss or a wrong cached target counts as a misprediction, matching
+// fetch-redirect behaviour.
+func (u *Unit) Resolve(pc uint64, taken bool, target uint64) (correct bool) {
+	predTaken := u.Bimodal.Predict(pc)
+	correct = predTaken == taken
+	if correct && taken {
+		cached, ok := u.BTB.Lookup(pc)
+		if !ok || cached != target {
+			correct = false
+		}
+	}
+	u.Bimodal.Update(pc, taken)
+	if taken {
+		u.BTB.Insert(pc, target)
+	}
+	u.Predictions++
+	if !correct {
+		u.Mispredictions++
+	}
+	return correct
+}
+
+// Accuracy returns the fraction of correct predictions, or 1 when no
+// branches have resolved.
+func (u *Unit) Accuracy() float64 {
+	if u.Predictions == 0 {
+		return 1
+	}
+	return 1 - float64(u.Mispredictions)/float64(u.Predictions)
+}

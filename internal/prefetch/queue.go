@@ -1,0 +1,106 @@
+// The prefetch queue (Table 1: 64 entries). Accepted prefetches wait here
+// and contend with demand accesses for the L1 cache ports; the queue also
+// performs the duplicate squashing the paper assumes ("all duplicate
+// prefetches are squashed automatically with no penalty").
+package prefetch
+
+import "fmt"
+
+// QueuedCandidate is a Candidate plus the cycle it entered the queue, so
+// the port arbiter can reason about staleness.
+type QueuedCandidate struct {
+	Candidate
+	EnqueueCycle uint64
+}
+
+// Queue is a bounded FIFO of pending prefetches with O(1) duplicate lookup.
+type Queue struct {
+	buf      []QueuedCandidate
+	head     int
+	tail     int
+	count    int
+	resident map[uint64]int // lineAddr -> occurrences in queue
+
+	Enqueued  uint64
+	Squashed  uint64 // duplicates dropped
+	Overflows uint64 // dropped because the queue was full
+	Dequeued  uint64
+}
+
+// NewQueue builds a queue with the given capacity.
+func NewQueue(capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("prefetch: queue capacity must be positive, got %d", capacity)
+	}
+	return &Queue{
+		buf:      make([]QueuedCandidate, capacity),
+		resident: make(map[uint64]int, capacity),
+	}, nil
+}
+
+// Len returns the number of queued prefetches.
+func (q *Queue) Len() int { return q.count }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Contains reports whether a prefetch for the line is already queued.
+func (q *Queue) Contains(lineAddr uint64) bool { return q.resident[lineAddr] > 0 }
+
+// Enqueue adds a candidate at cycle now. Duplicates of queued lines are
+// squashed; a full queue drops the candidate. Both outcomes return false.
+func (q *Queue) Enqueue(c Candidate, now uint64) bool {
+	if q.Contains(c.LineAddr) {
+		q.Squashed++
+		return false
+	}
+	if q.count == len(q.buf) {
+		q.Overflows++
+		return false
+	}
+	q.buf[q.tail] = QueuedCandidate{Candidate: c, EnqueueCycle: now}
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.count++
+	q.resident[c.LineAddr]++
+	q.Enqueued++
+	return true
+}
+
+// Front returns the oldest queued prefetch without removing it.
+func (q *Queue) Front() (QueuedCandidate, bool) {
+	if q.count == 0 {
+		return QueuedCandidate{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Dequeue removes and returns the oldest queued prefetch.
+func (q *Queue) Dequeue() (QueuedCandidate, bool) {
+	if q.count == 0 {
+		return QueuedCandidate{}, false
+	}
+	c := q.buf[q.head]
+	q.buf[q.head] = QueuedCandidate{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	if n := q.resident[c.LineAddr]; n <= 1 {
+		delete(q.resident, c.LineAddr)
+	} else {
+		q.resident[c.LineAddr] = n - 1
+	}
+	q.Dequeued++
+	return c, true
+}
+
+// Drain empties the queue, returning the remaining candidates in order.
+func (q *Queue) Drain() []QueuedCandidate {
+	out := make([]QueuedCandidate, 0, q.count)
+	for {
+		c, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}

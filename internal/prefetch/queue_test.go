@@ -1,0 +1,159 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue(0); err == nil {
+		t.Fatal("zero capacity should fail")
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q, _ := NewQueue(8)
+	for i := uint64(0); i < 5; i++ {
+		if !q.Enqueue(Candidate{LineAddr: i}, 100+i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := uint64(0); i < 5; i++ {
+		c, ok := q.Dequeue()
+		if !ok || c.LineAddr != i || c.EnqueueCycle != 100+i {
+			t.Fatalf("dequeue %d = %+v", i, c)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue should fail")
+	}
+}
+
+func TestQueueDuplicateSquash(t *testing.T) {
+	q, _ := NewQueue(8)
+	q.Enqueue(Candidate{LineAddr: 7}, 0)
+	if q.Enqueue(Candidate{LineAddr: 7}, 1) {
+		t.Fatal("duplicate should be squashed")
+	}
+	if q.Squashed != 1 || q.Len() != 1 {
+		t.Fatalf("squash accounting: %+v", *q)
+	}
+	// After dequeue, the line may be enqueued again.
+	q.Dequeue()
+	if !q.Enqueue(Candidate{LineAddr: 7}, 2) {
+		t.Fatal("line should be enqueueable after leaving the queue")
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	q, _ := NewQueue(2)
+	q.Enqueue(Candidate{LineAddr: 1}, 0)
+	q.Enqueue(Candidate{LineAddr: 2}, 0)
+	if q.Enqueue(Candidate{LineAddr: 3}, 0) {
+		t.Fatal("full queue should reject")
+	}
+	if q.Overflows != 1 {
+		t.Fatalf("overflows = %d", q.Overflows)
+	}
+}
+
+func TestQueueFront(t *testing.T) {
+	q, _ := NewQueue(4)
+	if _, ok := q.Front(); ok {
+		t.Fatal("empty front should fail")
+	}
+	q.Enqueue(Candidate{LineAddr: 9}, 5)
+	c, ok := q.Front()
+	if !ok || c.LineAddr != 9 {
+		t.Fatalf("front = %+v", c)
+	}
+	if q.Len() != 1 {
+		t.Fatal("front must not dequeue")
+	}
+}
+
+func TestQueueContains(t *testing.T) {
+	q, _ := NewQueue(4)
+	q.Enqueue(Candidate{LineAddr: 3}, 0)
+	if !q.Contains(3) || q.Contains(4) {
+		t.Fatal("contains wrong")
+	}
+	q.Dequeue()
+	if q.Contains(3) {
+		t.Fatal("dequeued line should be gone")
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q, _ := NewQueue(8)
+	for i := uint64(0); i < 6; i++ {
+		q.Enqueue(Candidate{LineAddr: i}, i)
+	}
+	out := q.Drain()
+	if len(out) != 6 || q.Len() != 0 {
+		t.Fatalf("drain = %d entries, len %d", len(out), q.Len())
+	}
+	for i, c := range out {
+		if c.LineAddr != uint64(i) {
+			t.Fatalf("drain order wrong at %d: %+v", i, c)
+		}
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q, _ := NewQueue(3)
+	// Cycle through the ring several times.
+	for round := uint64(0); round < 10; round++ {
+		for i := uint64(0); i < 3; i++ {
+			if !q.Enqueue(Candidate{LineAddr: round*10 + i}, 0) {
+				t.Fatalf("enqueue failed at round %d", round)
+			}
+		}
+		for i := uint64(0); i < 3; i++ {
+			c, ok := q.Dequeue()
+			if !ok || c.LineAddr != round*10+i {
+				t.Fatalf("round %d dequeue %d = %+v", round, i, c)
+			}
+		}
+	}
+	if q.Enqueued != 30 || q.Dequeued != 30 {
+		t.Fatalf("counters: %+v", *q)
+	}
+}
+
+// Property: Len never exceeds capacity and Contains matches queue contents.
+func TestQueuePropertyInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q, _ := NewQueue(4)
+		resident := map[uint64]bool{}
+		for _, op := range ops {
+			line := uint64(op % 16)
+			if op&0x80 == 0 {
+				ok := q.Enqueue(Candidate{LineAddr: line}, 0)
+				if ok {
+					resident[line] = true
+				}
+			} else {
+				c, ok := q.Dequeue()
+				if ok {
+					delete(resident, c.LineAddr)
+				}
+			}
+			if q.Len() > q.Cap() {
+				return false
+			}
+			for l := range resident {
+				if !q.Contains(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	tb.AddNote("a note with %d", 42)
+	out := tb.String()
+
+	if !strings.Contains(out, "## demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note with 42") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and rows must align: "alpha" is the widest first column.
+	var header, rowB string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "b") {
+			rowB = l
+		}
+	}
+	if header == "" || rowB == "" {
+		t.Fatalf("missing lines:\n%s", out)
+	}
+	if strings.Index(header, "value") != strings.Index(rowB, "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+	if tb.Rows[0][1] != "" || tb.Rows[0][2] != "" {
+		t.Fatal("padding cells should be empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `say "hi"`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,value\nplain,1\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.12345) != "0.1234" && F(0.12345) != "0.1235" {
+		t.Fatalf("F = %q", F(0.12345))
+	}
+	if F2(1.2345) != "1.23" {
+		t.Fatalf("F2 = %q", F2(1.2345))
+	}
+	if Pct(0.0912) != "9.1%" {
+		t.Fatalf("Pct = %q", Pct(0.0912))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I = %q", I(42))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "col")
+	out := tb.String()
+	if !strings.Contains(out, "col") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("a|b", "1")
+	tb.AddNote("footnote")
+	var b strings.Builder
+	if err := tb.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### demo", "| name | value |", "| --- | --- |", `a\|b`, "*footnote*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestDeterminismFingerprint pins exact cycle and classification counts
+// for a few (benchmark, filter) pairs at a fixed budget. The simulator is
+// bit-deterministic, so these values are stable across platforms and Go
+// versions; any change here means simulation *semantics* changed —
+// intentionally (recalibration: update the table and re-run the
+// experiment suite) or by accident (a bug).
+func TestDeterminismFingerprint(t *testing.T) {
+	fingerprints := []struct {
+		bench  string
+		filter config.FilterKind
+		cycles uint64
+		good   uint64
+		bad    uint64
+	}{
+		{"fpppp", "none", 39898, 1278, 11},
+		{"fpppp", "pa", 39898, 1279, 6},
+		{"mcf", "none", 76348, 18, 945},
+		{"mcf", "pa", 72702, 30, 700},
+		{"gzip", "none", 73236, 802, 1230},
+		{"gzip", "pa", 72671, 534, 718},
+	}
+	for _, fp := range fingerprints {
+		r, err := Run(Options{
+			Benchmark:       fp.bench,
+			Config:          config.Default().WithFilter(fp.filter),
+			MaxInstructions: 50_000,
+			Warmup:          10_000,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", fp.bench, fp.filter, err)
+		}
+		if r.Cycles != fp.cycles || r.Prefetches.Good != fp.good || r.Prefetches.Bad != fp.bad {
+			t.Errorf("%s/%s fingerprint drift: cycles=%d good=%d bad=%d, want %d/%d/%d",
+				fp.bench, fp.filter, r.Cycles, r.Prefetches.Good, r.Prefetches.Bad,
+				fp.cycles, fp.good, fp.bad)
+		}
+	}
+}

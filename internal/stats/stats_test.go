@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefetchesClassified(t *testing.T) {
+	p := Prefetches{Good: 3, Bad: 7}
+	if p.Classified() != 10 {
+		t.Fatalf("classified = %d", p.Classified())
+	}
+}
+
+func TestBadGoodRatio(t *testing.T) {
+	if r := (Prefetches{Good: 4, Bad: 8}).BadGoodRatio(); r != 2 {
+		t.Fatalf("ratio = %v", r)
+	}
+	// Zero good: ratio continues as bad count to stay finite.
+	if r := (Prefetches{Good: 0, Bad: 5}).BadGoodRatio(); r != 5 {
+		t.Fatalf("zero-good ratio = %v", r)
+	}
+	if r := (Prefetches{}).BadGoodRatio(); r != 0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+}
+
+func TestGoodFraction(t *testing.T) {
+	if f := (Prefetches{Good: 1, Bad: 3}).GoodFraction(); f != 0.25 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if f := (Prefetches{}).GoodFraction(); f != 0 {
+		t.Fatalf("empty fraction = %v", f)
+	}
+}
+
+func TestTrafficPrefetchRatio(t *testing.T) {
+	tr := Traffic{DemandAccesses: 100, PrefetchAccesses: 41}
+	if r := tr.PrefetchRatio(); r != 0.41 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if (Traffic{}).PrefetchRatio() != 0 {
+		t.Fatal("idle traffic ratio should be 0")
+	}
+}
+
+func TestRunIPC(t *testing.T) {
+	r := Run{Instructions: 300, Cycles: 100}
+	if r.IPC() != 3 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	if (Run{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+}
+
+func TestRunMissRates(t *testing.T) {
+	r := Run{
+		L1DemandAccesses: 1000, L1DemandMisses: 64,
+		L2DemandAccesses: 64, L2DemandMisses: 16,
+	}
+	if r.L1MissRate() != 0.064 {
+		t.Fatalf("L1 = %v", r.L1MissRate())
+	}
+	if r.L2MissRate() != 0.25 {
+		t.Fatalf("L2 = %v", r.L2MissRate())
+	}
+	if (Run{}).L1MissRate() != 0 || (Run{}).L2MissRate() != 0 {
+		t.Fatal("idle miss rates should be 0")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Benchmark: "mcf", Filter: "pa", Instructions: 100, Cycles: 50}
+	s := r.String()
+	for _, want := range []string{"mcf", "pa", "IPC=2.000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2, 2.2); math.Abs(s-0.1) > 1e-12 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if s := Speedup(2, 1.8); math.Abs(s+0.1) > 1e-12 {
+		t.Fatalf("slowdown = %v", s)
+	}
+	if Speedup(0, 5) != 0 {
+		t.Fatal("zero baseline should be 0")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(100, 3); math.Abs(r-0.97) > 1e-12 {
+		t.Fatalf("reduction = %v", r)
+	}
+	if r := Reduction(100, 120); math.Abs(r+0.2) > 1e-12 {
+		t.Fatalf("negative reduction = %v", r)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Fatal("zero baseline should be 0")
+	}
+}
+
+func TestSafeRatio(t *testing.T) {
+	if SafeRatio(1, 0) != 0 {
+		t.Fatal("zero denominator should be 0")
+	}
+	if SafeRatio(3, 4) != 0.75 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+// Property: Speedup and Reduction are consistent inverses around the
+// baseline: speedup(b, a) = -reduction(b, a) exactly.
+func TestPropertySpeedupReductionDual(t *testing.T) {
+	f := func(b, a uint16) bool {
+		before, after := float64(b)+1, float64(a)
+		return math.Abs(Speedup(before, after)+Reduction(before, after)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GoodFraction is always in [0,1] and consistent with the ratio.
+func TestPropertyFractionBounds(t *testing.T) {
+	f := func(g, b uint32) bool {
+		p := Prefetches{Good: uint64(g), Bad: uint64(b)}
+		fr := p.GoodFraction()
+		return fr >= 0 && fr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

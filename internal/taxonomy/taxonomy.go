@@ -1,0 +1,260 @@
+// Package taxonomy implements the full prefetch classification of
+// Srinivasan, Davidson and Tyson, "A Prefetch Taxonomy" (the paper's
+// reference [17]).
+//
+// The paper deliberately simplifies this taxonomy to a two-way good/bad
+// split because the full version "requires many additional bits to keep
+// track of the replaced cache line and reference order for both replaced
+// and prefetched cache line" (§3). This package implements what the
+// hardware-simplified version leaves out, as simulator instrumentation:
+// it tracks, for every prefetch, both whether the prefetched line was
+// used and whether the line it displaced would have been used again, and
+// derives the taxonomy classes:
+//
+//	Useful:      prefetched line referenced; victim not re-referenced.
+//	             Pure win — a miss was converted into a hit for free.
+//	Polluting:   prefetched line never referenced; victim re-referenced.
+//	             Pure loss — the prefetch manufactured a miss.
+//	Conflicting: prefetched line referenced, but the victim was also
+//	             re-referenced. The prefetch traded one miss for another.
+//	Useless:     neither the prefetched line nor the victim was touched
+//	             again. No miss impact, pure traffic.
+//
+// Classification resolves lazily: a prefetch's class is decided when both
+// its line and its victim have left the observation window (or at Finish).
+// The tracker is pure instrumentation — it never affects timing — and the
+// taxonomy experiment uses it to show how the paper's 2-way split maps
+// onto the 4-way ground truth.
+package taxonomy
+
+import "fmt"
+
+// Class is a taxonomy category.
+type Class uint8
+
+// The four taxonomy classes plus Pending (not yet resolved).
+const (
+	Pending Class = iota
+	Useful
+	Polluting
+	Conflicting
+	Useless
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Pending:
+		return "pending"
+	case Useful:
+		return "useful"
+	case Polluting:
+		return "polluting"
+	case Conflicting:
+		return "conflicting"
+	case Useless:
+		return "useless"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Counts aggregates resolved classifications.
+type Counts struct {
+	Useful      uint64
+	Polluting   uint64
+	Conflicting uint64
+	Useless     uint64
+}
+
+// Total returns all resolved prefetches.
+func (c Counts) Total() uint64 {
+	return c.Useful + c.Polluting + c.Conflicting + c.Useless
+}
+
+// Frac returns the fraction of total in the given class (0 when idle).
+func (c Counts) Frac(class Class) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	var n uint64
+	switch class {
+	case Useful:
+		n = c.Useful
+	case Polluting:
+		n = c.Polluting
+	case Conflicting:
+		n = c.Conflicting
+	case Useless:
+		n = c.Useless
+	}
+	return float64(n) / float64(t)
+}
+
+// GoodBad projects the taxonomy onto the paper's two-way split: good =
+// prefetched line referenced (Useful + Conflicting), bad = never
+// referenced (Polluting + Useless).
+func (c Counts) GoodBad() (good, bad uint64) {
+	return c.Useful + c.Conflicting, c.Polluting + c.Useless
+}
+
+// entry tracks one outstanding prefetch observation.
+type entry struct {
+	prefetchUsed bool
+	prefetchDone bool // prefetched line has been evicted
+	victimValid  bool // the fill displaced a valid line
+	victimAddr   uint64
+	victimReused bool
+	victimDone   bool // victim window closed (re-fetched or timed out)
+}
+
+// Tracker observes fills, references, and evictions and resolves classes.
+//
+// Victim reuse detection: when a prefetch fill evicts line V, the tracker
+// watches for the next demand access to V. If V is demand-missed again
+// ("re-referenced after displacement"), the victim counts as reused. The
+// watch closes when V is re-fetched or when `window` subsequent fills have
+// passed without a reference (a displaced line whose reuse distance is
+// that long would likely have been evicted anyway).
+type Tracker struct {
+	outstanding map[uint64]*entry   // prefetched line -> observation
+	victims     map[uint64][]uint64 // victim line -> prefetched lines watching it
+	// age-out bookkeeping: victim watches expire after `window` fills.
+	order  []victimWatch
+	window int
+	fills  uint64
+
+	Counts Counts
+}
+
+type victimWatch struct {
+	victim   uint64
+	prefetch uint64
+	fillSeq  uint64
+}
+
+// NewTracker builds a tracker; window is the victim-reuse observation
+// horizon in prefetch fills (a few hundred approximates L1 residency).
+func NewTracker(window int) (*Tracker, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("taxonomy: window must be positive, got %d", window)
+	}
+	return &Tracker{
+		outstanding: make(map[uint64]*entry),
+		victims:     make(map[uint64][]uint64),
+		window:      window,
+	}, nil
+}
+
+// OnPrefetchFill records that a prefetch installed lineAddr, displacing
+// victim (victimValid=false for fills into empty frames).
+func (t *Tracker) OnPrefetchFill(lineAddr, victim uint64, victimValid bool) {
+	t.fills++
+	// A previous unresolved observation for this line is finalized as if
+	// evicted silently, with its victim watch closed unused, so the slot
+	// can be reused without losing a classification.
+	if old, ok := t.outstanding[lineAddr]; ok {
+		old.prefetchDone = true
+		old.victimDone = true
+		t.tryResolve(lineAddr, old)
+	}
+	e := &entry{victimValid: victimValid, victimAddr: victim}
+	t.outstanding[lineAddr] = e
+	if victimValid {
+		t.victims[victim] = append(t.victims[victim], lineAddr)
+		t.order = append(t.order, victimWatch{victim: victim, prefetch: lineAddr, fillSeq: t.fills})
+	}
+	t.expire()
+}
+
+// OnDemandRef records a demand access to lineAddr. It both marks a
+// prefetched line as used and detects victim reuse.
+func (t *Tracker) OnDemandRef(lineAddr uint64) {
+	if e, ok := t.outstanding[lineAddr]; ok {
+		e.prefetchUsed = true
+	}
+	if watchers, ok := t.victims[lineAddr]; ok {
+		for _, pf := range watchers {
+			if e, live := t.outstanding[pf]; live && e.victimAddr == lineAddr && !e.victimDone {
+				e.victimReused = true
+				e.victimDone = true
+				t.tryResolve(pf, e)
+			}
+		}
+		delete(t.victims, lineAddr)
+	}
+}
+
+// OnEvict records that a prefetched line left the cache.
+func (t *Tracker) OnEvict(lineAddr uint64) {
+	if e, ok := t.outstanding[lineAddr]; ok {
+		e.prefetchDone = true
+		t.tryResolve(lineAddr, e)
+	}
+}
+
+// expire closes victim watches older than the window.
+func (t *Tracker) expire() {
+	for len(t.order) > 0 && t.fills-t.order[0].fillSeq > uint64(t.window) {
+		w := t.order[0]
+		t.order = t.order[1:]
+		if e, ok := t.outstanding[w.prefetch]; ok && e.victimAddr == w.victim && !e.victimDone {
+			e.victimDone = true
+			t.tryResolve(w.prefetch, e)
+		}
+		// Remove the watcher entry.
+		if ws, ok := t.victims[w.victim]; ok {
+			kept := ws[:0]
+			for _, pf := range ws {
+				if pf != w.prefetch {
+					kept = append(kept, pf)
+				}
+			}
+			if len(kept) == 0 {
+				delete(t.victims, w.victim)
+			} else {
+				t.victims[w.victim] = kept
+			}
+		}
+	}
+}
+
+// tryResolve classifies when both observation legs have closed.
+func (t *Tracker) tryResolve(lineAddr uint64, e *entry) {
+	victimClosed := !e.victimValid || e.victimDone
+	if !e.prefetchDone || !victimClosed {
+		return
+	}
+	switch {
+	case e.prefetchUsed && e.victimReused:
+		t.Counts.Conflicting++
+	case e.prefetchUsed:
+		t.Counts.Useful++
+	case e.victimReused:
+		t.Counts.Polluting++
+	default:
+		t.Counts.Useless++
+	}
+	delete(t.outstanding, lineAddr)
+}
+
+// ResetCounts zeroes the resolved-class counters while keeping open
+// observations alive, so counts align with a measurement window that
+// starts after warmup.
+func (t *Tracker) ResetCounts() { t.Counts = Counts{} }
+
+// Outstanding returns the number of unresolved observations.
+func (t *Tracker) Outstanding() int { return len(t.outstanding) }
+
+// Finish force-resolves everything still outstanding: open prefetch lines
+// count as if evicted now, open victim watches as not-reused.
+func (t *Tracker) Finish() {
+	for lineAddr, e := range t.outstanding {
+		e.prefetchDone = true
+		e.victimDone = true
+		t.tryResolve(lineAddr, e)
+	}
+	t.victims = make(map[uint64][]uint64)
+	t.order = nil
+}

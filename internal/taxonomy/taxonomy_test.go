@@ -1,0 +1,170 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewTracker(0); err == nil {
+		t.Fatal("zero window should fail")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		Pending: "pending", Useful: "useful", Polluting: "polluting",
+		Conflicting: "conflicting", Useless: "useless",
+	} {
+		if c.String() != want {
+			t.Errorf("%d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestUsefulClassification(t *testing.T) {
+	tr := mk(t)
+	tr.OnPrefetchFill(100, 50, true) // prefetch 100 displaces 50
+	tr.OnDemandRef(100)              // prefetched line used
+	tr.OnEvict(100)                  // line leaves
+	tr.Finish()                      // victim watch closes unused
+	if tr.Counts.Useful != 1 || tr.Counts.Total() != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestPollutingClassification(t *testing.T) {
+	tr := mk(t)
+	tr.OnPrefetchFill(100, 50, true)
+	tr.OnDemandRef(50) // the victim is re-referenced: manufactured miss
+	tr.OnEvict(100)    // prefetched line dies untouched
+	if tr.Counts.Polluting != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestConflictingClassification(t *testing.T) {
+	tr := mk(t)
+	tr.OnPrefetchFill(100, 50, true)
+	tr.OnDemandRef(100) // prefetch used…
+	tr.OnDemandRef(50)  // …but the victim was wanted too
+	tr.OnEvict(100)
+	if tr.Counts.Conflicting != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestUselessClassification(t *testing.T) {
+	tr := mk(t)
+	tr.OnPrefetchFill(100, 50, true)
+	tr.OnEvict(100)
+	tr.Finish()
+	if tr.Counts.Useless != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestFillWithoutVictim(t *testing.T) {
+	tr := mk(t)
+	tr.OnPrefetchFill(100, 0, false) // empty frame: no victim leg
+	tr.OnDemandRef(100)
+	tr.OnEvict(100)
+	if tr.Counts.Useful != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestVictimWindowExpiry(t *testing.T) {
+	tr, _ := NewTracker(4)
+	tr.OnPrefetchFill(100, 50, true)
+	tr.OnEvict(100) // prefetch leg closed, victim watch open
+	// Push the victim watch past the window with other fills.
+	for i := uint64(0); i < 6; i++ {
+		tr.OnPrefetchFill(200+i, 0, false)
+	}
+	// Victim 50 referenced too late: the watch already expired, so the
+	// original prefetch resolved as useless.
+	tr.OnDemandRef(50)
+	if tr.Counts.Useless != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+func TestGoodBadProjection(t *testing.T) {
+	c := Counts{Useful: 5, Conflicting: 2, Polluting: 3, Useless: 4}
+	good, bad := c.GoodBad()
+	if good != 7 || bad != 7 {
+		t.Fatalf("projection = %d, %d", good, bad)
+	}
+}
+
+func TestFrac(t *testing.T) {
+	c := Counts{Useful: 1, Polluting: 1, Conflicting: 1, Useless: 1}
+	for _, cl := range []Class{Useful, Polluting, Conflicting, Useless} {
+		if c.Frac(cl) != 0.25 {
+			t.Fatalf("Frac(%v) = %v", cl, c.Frac(cl))
+		}
+	}
+	if (Counts{}).Frac(Useful) != 0 {
+		t.Fatal("idle frac should be 0")
+	}
+}
+
+func TestFinishClosesEverything(t *testing.T) {
+	tr := mk(t)
+	for i := uint64(0); i < 10; i++ {
+		tr.OnPrefetchFill(i, 100+i, true)
+	}
+	tr.OnDemandRef(3)
+	tr.Finish()
+	if tr.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", tr.Outstanding())
+	}
+	if tr.Counts.Total() != 10 {
+		t.Fatalf("total = %d", tr.Counts.Total())
+	}
+	if tr.Counts.Useful != 1 {
+		t.Fatalf("counts = %+v", tr.Counts)
+	}
+}
+
+// Property: every fill resolves to exactly one class after Finish.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr, _ := NewTracker(16)
+		fills := uint64(0)
+		seen := map[uint64]bool{}
+		for _, op := range ops {
+			line := uint64(op % 32)
+			switch op % 3 {
+			case 0:
+				if !seen[line] {
+					tr.OnPrefetchFill(line, uint64(op%8)+100, op%2 == 0)
+					seen[line] = true
+					fills++
+				}
+			case 1:
+				tr.OnDemandRef(line)
+			default:
+				if seen[line] {
+					tr.OnEvict(line)
+					seen[line] = false
+				}
+			}
+		}
+		tr.Finish()
+		return tr.Counts.Total() == fills
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

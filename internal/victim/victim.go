@@ -1,0 +1,127 @@
+// Package victim implements a victim cache (Jouppi, ISCA 1990): a small
+// fully-associative buffer that catches lines evicted from a
+// direct-mapped L1 and gives them a second chance on the next miss.
+//
+// The paper's machine has a direct-mapped 8KB L1, so every prefetch fill
+// evicts the *only* resident line of its set — pollution and conflict
+// misses are entangled. A victim cache is the classic hardware answer to
+// conflict misses, which makes it the natural "how much of the filter's
+// benefit could cheaper hardware capture?" comparison, evaluated by the
+// victim ablation row.
+//
+// Classification semantics: the pollution filter's good/bad verdict is
+// rendered at L1 eviction, exactly as in the paper; the victim cache
+// operates below that point. A line rescued from the victim cache
+// re-enters the L1 as a demand line (PIB clear) — its prefetch, if any,
+// was already classified.
+package victim
+
+import "fmt"
+
+// Entry is one buffered victim line.
+type Entry struct {
+	Valid    bool
+	LineAddr uint64
+	Dirty    bool
+	lru      uint64
+}
+
+// Cache is the fully-associative victim buffer with true-LRU replacement.
+type Cache struct {
+	entries []Entry
+	tick    uint64
+
+	Fills     uint64 // L1 evictions captured
+	Hits      uint64 // misses rescued
+	Evictions uint64 // victims of the victim cache
+	DirtyOut  uint64 // dirty lines pushed down on eviction
+}
+
+// New builds a victim cache with the given capacity.
+func New(entries int) (*Cache, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("victim: entries must be positive, got %d", entries)
+	}
+	return &Cache{entries: make([]Entry, entries)}, nil
+}
+
+// Capacity returns the number of entry frames.
+func (c *Cache) Capacity() int { return len(c.entries) }
+
+// ValidEntries counts resident lines.
+func (c *Cache) ValidEntries() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert captures an evicted L1 line. If the buffer is full the LRU
+// entry is evicted and returned so the caller can write it back.
+func (c *Cache) Insert(lineAddr uint64, dirty bool) (evicted Entry, hadEviction bool) {
+	c.tick++
+	slot := -1
+	for i := range c.entries {
+		if c.entries[i].Valid && c.entries[i].LineAddr == lineAddr {
+			// Re-captured before rescue: refresh in place.
+			c.entries[i].Dirty = c.entries[i].Dirty || dirty
+			c.entries[i].lru = c.tick
+			return Entry{}, false
+		}
+	}
+	for i := range c.entries {
+		if !c.entries[i].Valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = 0
+		for i := range c.entries {
+			if c.entries[i].lru < c.entries[slot].lru {
+				slot = i
+			}
+		}
+		evicted = c.entries[slot]
+		hadEviction = true
+		c.Evictions++
+		if evicted.Dirty {
+			c.DirtyOut++
+		}
+	}
+	c.entries[slot] = Entry{Valid: true, LineAddr: lineAddr, Dirty: dirty, lru: c.tick}
+	c.Fills++
+	return evicted, hadEviction
+}
+
+// Probe checks for lineAddr on an L1 miss. A hit removes the entry (the
+// line swaps back into the L1) and returns it.
+func (c *Cache) Probe(lineAddr uint64) (Entry, bool) {
+	for i := range c.entries {
+		if c.entries[i].Valid && c.entries[i].LineAddr == lineAddr {
+			e := c.entries[i]
+			c.entries[i] = Entry{}
+			c.Hits++
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Contains reports residency without removal.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	for i := range c.entries {
+		if c.entries[i].Valid && c.entries[i].LineAddr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes the counters (warmup boundary); contents stay.
+func (c *Cache) ResetStats() {
+	c.Fills, c.Hits, c.Evictions, c.DirtyOut = 0, 0, 0, 0
+}

@@ -1,0 +1,91 @@
+package victim
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero entries should fail")
+	}
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 4 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+}
+
+func TestInsertProbeRescue(t *testing.T) {
+	c, _ := New(4)
+	c.Insert(100, true)
+	if !c.Contains(100) {
+		t.Fatal("victim should be resident")
+	}
+	e, hit := c.Probe(100)
+	if !hit || e.LineAddr != 100 || !e.Dirty {
+		t.Fatalf("probe = %+v, %v", e, hit)
+	}
+	if c.Contains(100) {
+		t.Fatal("rescued line must leave the buffer")
+	}
+	if c.Hits != 1 {
+		t.Fatalf("hits = %d", c.Hits)
+	}
+}
+
+func TestProbeMiss(t *testing.T) {
+	c, _ := New(4)
+	if _, hit := c.Probe(5); hit {
+		t.Fatal("empty buffer should miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(2)
+	c.Insert(1, false)
+	c.Insert(2, true)
+	c.Insert(1, false) // refresh 1: 2 becomes LRU
+	evicted, had := c.Insert(3, false)
+	if !had || evicted.LineAddr != 2 || !evicted.Dirty {
+		t.Fatalf("evicted = %+v, had=%v", evicted, had)
+	}
+	if c.DirtyOut != 1 {
+		t.Fatalf("dirty out = %d", c.DirtyOut)
+	}
+}
+
+func TestRecaptureMergesDirty(t *testing.T) {
+	c, _ := New(2)
+	c.Insert(7, false)
+	if _, had := c.Insert(7, true); had {
+		t.Fatal("recapture must not evict")
+	}
+	e, _ := c.Probe(7)
+	if !e.Dirty {
+		t.Fatal("recapture should merge the dirty bit")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c, _ := New(3)
+	for la := uint64(0); la < 50; la++ {
+		c.Insert(la, false)
+		if c.ValidEntries() > 3 {
+			t.Fatal("exceeded capacity")
+		}
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c, _ := New(4)
+	c.Insert(9, false)
+	c.Probe(9)
+	c.ResetStats()
+	if c.Fills != 0 || c.Hits != 0 {
+		t.Fatal("stats should reset")
+	}
+	c.Insert(11, false)
+	if !c.Contains(11) {
+		t.Fatal("contents must survive reset")
+	}
+}

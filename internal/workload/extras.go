@@ -1,0 +1,125 @@
+// Extra workload models beyond the paper's ten benchmarks:
+//
+//   - stream: pure sequential sweeps (STREAM-triad-like) — the best case
+//     for next-sequence prefetching, worst case for over-filtering.
+//   - random: uniform random loads over a large region — every hardware
+//     prefetch is useless, the best case for filtering.
+//   - phased: alternates between the two on a long period. This is the
+//     workload the static-vs-dynamic argument of §2 needs: a profile
+//     collected during one phase is wrong for the other, while the
+//     dynamic history table re-trains at every transition.
+//
+// They are registered in the same registry as the paper benchmarks (so
+// pfsim/pftrace can use them by name) but are not part of workload.All's
+// leading ten and are excluded from the paper-figure experiments.
+package workload
+
+import "repro/internal/isa"
+
+func init() {
+	register(Spec{
+		Name:        "stream",
+		Suite:       "micro",
+		Input:       "synthetic triad",
+		PaperL1Miss: 0.125, // analytic: one 32B line miss per 4 8B elements, 2 refs each
+		PaperL2Miss: 0.01,
+		New:         newStream,
+	})
+	register(Spec{
+		Name:        "random",
+		Suite:       "micro",
+		Input:       "uniform 8MB",
+		PaperL1Miss: 0.5, // analytic: the random load always misses; locals hit
+		PaperL2Miss: 0.9,
+		New:         newRandom,
+	})
+	register(Spec{
+		Name:        "phased",
+		Suite:       "micro",
+		Input:       "stream/random alternating",
+		PaperL1Miss: 0.3,
+		PaperL2Miss: 0.4,
+		New:         newPhased,
+	})
+}
+
+// --- stream: a[i] = b[i] + s*c[i] over L2-resident arrays -------------------
+
+func newStream(seed uint64) isa.Source {
+	const (
+		arrayBytes = 96 * 1024
+		elemBytes  = 8
+	)
+	a := Region{Base: stagger(heapBase, 1), Size: arrayBytes}
+	b := Region{Base: stagger(heap2Base, 2), Size: arrayBytes}
+	c := Region{Base: stagger(heap3Base, 3), Size: arrayBytes}
+
+	pos := uint64(0)
+	return newGen(seed, func(e *E) {
+		e.SetCtx(16)
+		off := pos * elemBytes
+		e.Load(0, b.At(off))
+		e.Load(1, c.At(off))
+		e.ALUBlock(2, 2)
+		e.Store(4, a.At(off))
+		e.LoopBranch(10, true)
+		pos = (pos + 1) % (arrayBytes / elemBytes)
+	})
+}
+
+// --- random: uniform loads over a region far larger than the L2 -------------
+
+func newRandom(seed uint64) isa.Source {
+	const regionBytes = 8 << 20
+	data := Region{Base: stagger(heapBase, 1), Size: regionBytes}
+	stack := Region{Base: stagger(stackBase, 2), Size: 1024}
+
+	return newGen(seed, func(e *E) {
+		e.SetCtx(16)
+		e.DepLoad(0, data.Line(e.Rng.Uint64n(data.Lines())))
+		e.Load(1, stack.At(e.Rng.Uint64n(64)*8))
+		e.ALUBlock(2, 2)
+		e.LoopBranch(10, true)
+	})
+}
+
+// --- phased: long alternating stream/random phases ---------------------------
+
+// phasedPeriod is the number of rounds per phase; long enough that each
+// phase dominates several filter-training lifetimes.
+const phasedPeriod = 60_000
+
+func newPhased(seed uint64) isa.Source {
+	const (
+		arrayBytes  = 96 * 1024
+		elemBytes   = 8
+		regionBytes = 8 << 20
+	)
+	a := Region{Base: stagger(heapBase, 1), Size: arrayBytes}
+	b := Region{Base: stagger(heap2Base, 2), Size: arrayBytes}
+	data := Region{Base: stagger(heap3Base, 3), Size: regionBytes}
+	stack := Region{Base: stagger(stackBase, 4), Size: 1024}
+
+	round := uint64(0)
+	pos := uint64(0)
+	return newGen(seed, func(e *E) {
+		e.SetCtx(16)
+		if (round/phasedPeriod)%2 == 0 {
+			// Streaming phase: prefetches are good; the filter must let
+			// them through.
+			off := pos * elemBytes
+			e.Load(0, b.At(off))
+			e.ALUBlock(1, 2)
+			e.Store(3, a.At(off))
+			pos = (pos + 1) % (arrayBytes / elemBytes)
+		} else {
+			// Random phase: prefetches are useless; the filter must shut
+			// them off.
+			e.DepLoad(32, data.Line(e.Rng.Uint64n(data.Lines())))
+			e.Load(33, stack.At(e.Rng.Uint64n(64)*8))
+			e.ALUBlock(34, 2)
+		}
+		e.LoopBranch(60, true)
+		round++
+	})
+}

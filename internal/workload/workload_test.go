@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestAllTenRegistered(t *testing.T) {
+	want := []string{"bh", "em3d", "perimeter", "ijpeg", "fpppp", "gcc", "wave5", "gap", "gzip", "mcf"}
+	if got := PaperNames(); len(got) != 10 {
+		t.Fatalf("paper names = %v", got)
+	}
+	names := Names()
+	if len(names) < len(want) {
+		t.Fatalf("registered %d benchmarks: %v", len(names), names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("presentation order broken at %d: got %v", i, names)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("mcf")
+	if !ok || s.Name != "mcf" || s.Suite != "spec2000" {
+		t.Fatalf("ByName(mcf) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("unknown benchmark should miss")
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	for _, s := range All() {
+		if s.Input == "" || s.Suite == "" || s.New == nil {
+			t.Errorf("%s: incomplete spec %+v", s.Name, s)
+		}
+		if s.PaperL1Miss <= 0 || s.PaperL1Miss >= 1 {
+			t.Errorf("%s: paper L1 miss %v out of range", s.Name, s.PaperL1Miss)
+		}
+		if s.PaperL2Miss < 0 || s.PaperL2Miss >= 1 {
+			t.Errorf("%s: paper L2 miss %v out of range", s.Name, s.PaperL2Miss)
+		}
+	}
+}
+
+func TestModelsEmitValidRecords(t *testing.T) {
+	for _, s := range All() {
+		src := s.New(1)
+		for i := 0; i < 20000; i++ {
+			rec, ok := src.Next()
+			if !ok {
+				t.Fatalf("%s: model exhausted at %d (models must be infinite)", s.Name, i)
+			}
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("%s record %d: %v (%+v)", s.Name, i, err, rec)
+			}
+			if rec.Op.IsMem() && rec.Addr == 0 {
+				t.Fatalf("%s record %d: memory op with zero address", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a := isa.Collect(s.New(7), 5000)
+		b := isa.Collect(s.New(7), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: seed-7 streams diverge at record %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestModelsSeedSensitive(t *testing.T) {
+	for _, s := range All() {
+		a := isa.Collect(s.New(1), 2000)
+		b := isa.Collect(s.New(2), 2000)
+		same := 0
+		for i := range a {
+			if a[i] == b[i] {
+				same++
+			}
+		}
+		// Loop-structure records coincide, but the streams must differ.
+		if same == len(a) {
+			t.Errorf("%s: seeds 1 and 2 produced identical traces", s.Name)
+		}
+	}
+}
+
+// TestPropertyDeterministicPrefix: any prefix of any model is a function
+// of (name, seed) only.
+func TestPropertyDeterministicPrefix(t *testing.T) {
+	specs := All()
+	f := func(seed uint64, pick uint8, nRaw uint16) bool {
+		s := specs[int(pick)%len(specs)]
+		n := int(nRaw)%1000 + 1
+		a := isa.Collect(s.New(seed), n)
+		b := isa.Collect(s.New(seed), n)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	for _, s := range All() {
+		var mem, branch, total int
+		src := s.New(3)
+		for i := 0; i < 50000; i++ {
+			rec, _ := src.Next()
+			total++
+			if rec.Op.IsMem() {
+				mem++
+			}
+			if rec.Op == isa.OpBranch {
+				branch++
+			}
+		}
+		memFrac := float64(mem) / float64(total)
+		brFrac := float64(branch) / float64(total)
+		if memFrac < 0.15 || memFrac > 0.75 {
+			t.Errorf("%s: memory fraction %.2f outside a plausible program mix", s.Name, memFrac)
+		}
+		if brFrac < 0.01 || brFrac > 0.35 {
+			t.Errorf("%s: branch fraction %.2f outside a plausible program mix", s.Name, brFrac)
+		}
+	}
+}
+
+func TestSoftwarePrefetchPresence(t *testing.T) {
+	// The compiler inserts prefetches in the regular codes; pointer codes
+	// get none (the paper notes software prefetches are few but accurate).
+	wantSW := map[string]bool{
+		"ijpeg": true, "fpppp": true, "wave5": true,
+		"bh": false, "em3d": false, "perimeter": false, "mcf": false, "gcc": false,
+	}
+	for name, want := range wantSW {
+		s, _ := ByName(name)
+		src := s.New(1)
+		found := false
+		for i := 0; i < 30000; i++ {
+			rec, _ := src.Next()
+			if rec.Op == isa.OpPrefetch {
+				found = true
+				break
+			}
+		}
+		if found != want {
+			t.Errorf("%s: software prefetch presence = %v, want %v", name, found, want)
+		}
+	}
+}
+
+func TestDepLoadsPresentInPointerCodes(t *testing.T) {
+	for _, name := range []string{"bh", "em3d", "perimeter", "mcf", "gcc"} {
+		s, _ := ByName(name)
+		src := s.New(1)
+		deps := 0
+		for i := 0; i < 20000; i++ {
+			rec, _ := src.Next()
+			if rec.Dep {
+				deps++
+			}
+		}
+		if deps == 0 {
+			t.Errorf("%s: pointer code should carry dependent loads", name)
+		}
+	}
+}
+
+func TestPCsLandInTextSegment(t *testing.T) {
+	for _, s := range All() {
+		src := s.New(1)
+		for i := 0; i < 5000; i++ {
+			rec, _ := src.Next()
+			if rec.PC < defaultPCBase || rec.PC > defaultPCBase+1<<24 {
+				t.Fatalf("%s: PC %#x outside the synthetic text segment", s.Name, rec.PC)
+			}
+		}
+	}
+}
+
+func TestStaticFootprintIsRich(t *testing.T) {
+	// The ctx mechanism must produce hundreds of distinct static PCs —
+	// the PC-based filter's behaviour depends on it. (The micro models
+	// are deliberately tiny kernels and are exempt.)
+	for _, s := range Paper() {
+		src := s.New(1)
+		pcs := map[uint64]struct{}{}
+		for i := 0; i < 100000; i++ {
+			rec, _ := src.Next()
+			pcs[rec.PC] = struct{}{}
+		}
+		if len(pcs) < 300 {
+			t.Errorf("%s: only %d static PCs; models need realistic code footprints", s.Name, len(pcs))
+		}
+	}
+}
+
+func TestRegionWrap(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 64}
+	if r.At(0) != 0x1000 || r.At(63) != 0x103f {
+		t.Fatal("At within region wrong")
+	}
+	if r.At(64) != 0x1000 || r.At(65) != 0x1001 {
+		t.Fatal("At must wrap at the region size")
+	}
+	if r.Lines() != 2 {
+		t.Fatalf("Lines = %d", r.Lines())
+	}
+	if r.Line(2) != 0x1000 {
+		t.Fatal("Line must wrap")
+	}
+}
+
+func TestStagger(t *testing.T) {
+	a, b := stagger(0x1000_0000, 1), stagger(0x1000_0000, 2)
+	if a == b {
+		t.Fatal("distinct slots must stagger differently")
+	}
+	if (a-b)%LineBytes != 0 {
+		t.Fatal("stagger must stay line-aligned")
+	}
+	if a%8192 == b%8192 {
+		t.Fatal("stagger must break 8KB set alignment")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	register(Spec{Name: "mcf"})
+}
+
+func TestEmitterPCStability(t *testing.T) {
+	e := &E{pcBase: defaultPCBase}
+	e.SetCtx(0)
+	if e.PC(5) != defaultPCBase+5*4 {
+		t.Fatalf("ctx 0 PC = %#x", e.PC(5))
+	}
+	e.ctx = 2
+	if e.PC(5) != defaultPCBase+(2*ctxStride+5)*4 {
+		t.Fatalf("ctx 2 PC = %#x", e.PC(5))
+	}
+}

@@ -1,0 +1,189 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// workload model, every randomized replacement policy, and every synthetic
+// input is driven by an xrand generator seeded from the experiment
+// configuration, so a given (seed, config) pair always produces the same
+// trace and therefore the same simulation result. The implementation is
+// splitmix64 for seeding and xoshiro256** for the stream, both public-domain
+// algorithms chosen for statistical quality and speed.
+package xrand
+
+import "math"
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is used to derive well-distributed sub-seeds from a single user seed.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** pseudo-random generator. The zero value is not a
+// valid generator; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, as recommended by
+// the xoshiro authors. Distinct seeds yield fully decorrelated streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256** requires a nonzero state; splitmix64 of any seed cannot
+	// produce four zero words, but guard anyway for belt and braces.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Fork derives an independent generator from r. The child stream is
+// decorrelated from the parent and from other forks; forking N children in
+// sequence is deterministic.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Rejection sampling on the top bits keeps the distribution exact.
+	mask := ^uint64(0)
+	if n&(n-1) == 0 { // power of two: mask is unbiased and branch-free
+		return r.Uint64() & (n - 1)
+	}
+	limit := mask - mask%n
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p. Values of p outside [0,1] clamp.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean ≈ 1/p), at least 1. It is used for run lengths in the
+// workload models. p is clamped to (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<20 { // safety bound; never hit with sane p
+			break
+		}
+	}
+	return n
+}
+
+// Perm fills a permutation of [0, n) using Fisher–Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a bounded Zipf-like distribution over [0, n) with skew s
+// using inverse-CDF on a harmonic approximation. Heavier skew (larger s)
+// concentrates mass on small indices. Used to model hot/cold data regions.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for n items with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	z := &Zipf{n: n, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	return z
+}
+
+// Draw samples an index in [0, n).
+func (z *Zipf) Draw(r *Rand) int {
+	u := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,265 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := uint64(42), uint64(42)
+	for i := 0; i < 100; i++ {
+		if got, want := SplitMix64(&a), SplitMix64(&b); got != want {
+			t.Fatalf("iteration %d: %#x != %#x", i, got, want)
+		}
+	}
+}
+
+func TestSplitMix64AdvancesState(t *testing.T) {
+	s := uint64(7)
+	v1 := SplitMix64(&s)
+	v2 := SplitMix64(&s)
+	if v1 == v2 {
+		t.Fatal("consecutive outputs should differ")
+	}
+	if s == 7 {
+		t.Fatal("state must advance")
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	r1, r2 := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	r1, r2 := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a dead stream")
+	}
+}
+
+func TestForkDecorrelated(t *testing.T) {
+	parent := New(9)
+	child := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork correlated with parent: %d/100 matches", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	c1 := New(5).Fork()
+	c2 := New(5).Fork()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("forks of identical parents diverged at %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) should panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nPowerOfTwoFast(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	r := New(77)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) must be false")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) must be true")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(negative) must be false")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(>1) must be true")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+func TestGeometricAtLeastOne(t *testing.T) {
+	r := New(29)
+	for _, p := range []float64{0.01, 0.5, 0.99, 1, 2} {
+		for i := 0; i < 100; i++ {
+			if v := r.Geometric(p); v < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", p, v)
+			}
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(31)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.25)
+	}
+	mean := float64(sum) / n
+	if mean < 3.6 || mean > 4.4 { // expected 4
+		t.Fatalf("Geometric(0.25) mean %v, want ~4", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(41)
+	z := NewZipf(100, 1.2)
+	for i := 0; i < 10000; i++ {
+		if v := z.Draw(r); v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(43)
+	z := NewZipf(1000, 1.2)
+	head := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if z.Draw(r) < 10 {
+			head++
+		}
+	}
+	// With s=1.2, the top 1% of items should carry far more than 1% of mass.
+	if frac := float64(head) / n; frac < 0.2 {
+		t.Fatalf("Zipf head mass %v, want heavy skew", frac)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) should panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
