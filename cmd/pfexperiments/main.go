@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "simulation seed")
 		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
 		jobs   = flag.Int("j", 0, "parallel simulation workers for pre-warming (0 = GOMAXPROCS, 1 = serial)")
+		met    = flag.Bool("metrics", false, "print harness telemetry (cache hits/misses, per-benchmark sim wall time) after the run")
 	)
 	flag.Parse()
 
@@ -44,6 +46,9 @@ func main() {
 	params := experiments.Params{Instructions: *n, Warmup: *warmup, Seed: *seed}
 	if *bench != "" {
 		params.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *met {
+		params.Metrics = metrics.New()
 	}
 
 	var targets []experiments.Experiment
@@ -99,6 +104,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, "pfexperiments:", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if params.Metrics != nil {
+		fmt.Println()
+		fmt.Println("--- harness telemetry ---")
+		if _, err := params.Metrics.Snapshot().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pfexperiments:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -7,25 +7,36 @@
 //	pfsim -bench mcf -filter pc -n 2000000
 //	pfsim -bench gzip -filter pa -l1 32768 -l1lat 4 -ports 4
 //	pfsim -bench wave5 -filter none -buffer
-//	pfsim -trace trace.pft -filter pa
+//	pfsim -tracein trace.pft -filter pa
+//
+// Observability:
+//
+//	pfsim -bench mcf -filter pa -trace out.jsonl   # cycle-stamped event trace
+//	pfsim -bench mcf -filter pa -metrics           # metrics registry snapshot
+//	pfsim -bench mcf -pprof localhost:6060         # live net/http/pprof server
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/isa"
+	simmetrics "repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "mcf", "benchmark name (see -list)")
-		traceIn  = flag.String("trace", "", "run from a PFTRACE1 trace file instead of a benchmark model")
+		traceIn  = flag.String("tracein", "", "run from a PFTRACE1 trace file instead of a benchmark model")
 		filter   = flag.String("filter", "none", "pollution filter: none|pa|pc|adaptive|deadblock")
 		entries  = flag.Int("entries", 4096, "history table entries (power of two)")
 		n        = flag.Int64("n", 2_000_000, "measured instructions")
@@ -42,6 +53,12 @@ func main() {
 		corr     = flag.Bool("corr", false, "enable the miss-correlation prefetcher extension")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		jsonConf = flag.String("config", "", "load a full JSON machine config from this file")
+
+		traceOut = flag.String("trace", "", "write a cycle-stamped JSONL event trace to this file")
+		traceBuf = flag.Int("tracebuf", 1<<20, "event trace ring-buffer capacity (oldest events drop beyond this)")
+		interval = flag.Uint64("interval", 100_000, "rollup interval in cycles for the -trace accuracy/coverage/pollution table (0 disables)")
+		metricsF = flag.Bool("metrics", false, "print the simulation metrics registry snapshot (plus selected runtime/metrics)")
+		pprofF   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -51,6 +68,15 @@ func main() {
 				s.Name, s.Suite, s.Input, s.PaperL1Miss, s.PaperL2Miss)
 		}
 		return
+	}
+
+	if *pprofF != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofF, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pfsim: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofF)
 	}
 
 	cfg := config.Default()
@@ -101,6 +127,17 @@ func main() {
 		opts.Benchmark = *traceIn
 	}
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(*traceBuf).WithInterval(*interval)
+		opts.Trace = tracer
+	}
+	var reg *simmetrics.Registry
+	if *metricsF {
+		reg = simmetrics.New()
+		opts.Metrics = reg
+	}
+
 	run, err := sim.Run(opts)
 	if err != nil {
 		fatal(err)
@@ -138,6 +175,77 @@ func main() {
 			fmt.Printf(" %s=%d", k, run.BySource[k])
 		}
 		fmt.Println()
+	}
+
+	if tracer != nil {
+		writeTrace(tracer, *traceOut)
+	}
+	if reg != nil {
+		fmt.Println()
+		fmt.Println("--- metrics snapshot ---")
+		if _, err := reg.Snapshot().WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		dumpRuntimeMetrics()
+	}
+}
+
+// writeTrace exports the JSONL event file and prints the interval
+// rollup table (accuracy / coverage / pollution per interval).
+func writeTrace(tracer *trace.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("trace: %d events emitted, %d buffered to %s (%d overwrote the ring)\n",
+		tracer.Total(), tracer.Total()-tracer.Dropped(), path, tracer.Dropped())
+	rollups := tracer.Rollups()
+	if len(rollups) == 0 {
+		return
+	}
+	fmt.Printf("%-10s %8s %8s %8s %8s %9s %9s %10s\n",
+		"interval", "issued", "filtered", "fills", "misses", "accuracy", "coverage", "pollution")
+	for _, r := range rollups {
+		fmt.Printf("%-10d %8d %8d %8d %8d %9.3f %9.3f %10.3f\n",
+			r.Index, r.Issued(), r.Filtered(), r.Counts[trace.KindPrefetchFill],
+			r.DemandMisses(), r.Accuracy(), r.Coverage(), r.PollutionRate())
+	}
+}
+
+// dumpRuntimeMetrics prints a useful subset of runtime/metrics — the
+// Go-runtime counterpart to the simulation registry, for profiling the
+// simulator itself.
+func dumpRuntimeMetrics() {
+	names := []string{
+		"/gc/heap/allocs:bytes",
+		"/gc/heap/allocs:objects",
+		"/gc/cycles/total:gc-cycles",
+		"/memory/classes/heap/objects:bytes",
+		"/memory/classes/total:bytes",
+		"/sched/goroutines:goroutines",
+	}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	fmt.Println()
+	fmt.Println("--- runtime/metrics ---")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Printf("%-40s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Printf("%-40s %g\n", s.Name, s.Value.Float64())
+		}
 	}
 }
 

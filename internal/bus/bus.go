@@ -9,12 +9,21 @@
 // enough to make prefetch floods visibly delay demand misses.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Bus is a single occupancy channel.
 type Bus struct {
 	bytesPerCycle int
 	busyUntil     uint64
+
+	// Trace, when non-nil, receives a cycle-stamped KindBusGrant event at
+	// the grant cycle of every transfer. Purely observational; nil (the
+	// default) costs one predictable branch per request.
+	Trace *trace.Tracer
 
 	// Stats
 	Transfers     uint64 // line transfers performed
@@ -59,6 +68,13 @@ func (b *Bus) Request(now uint64, n int, prefetch bool) (done uint64) {
 		b.PrefetchXfers++
 	} else {
 		b.DemandXfers++
+	}
+	if b.Trace != nil {
+		src := "demand"
+		if prefetch {
+			src = "prefetch"
+		}
+		b.Trace.Emit(trace.Event{Cycle: start, Kind: trace.KindBusGrant, Val: uint64(n), Source: src})
 	}
 	return b.busyUntil
 }

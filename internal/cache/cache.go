@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/xrand"
 )
 
@@ -301,6 +302,39 @@ func (c *Cache) ValidLines() int {
 
 // Capacity returns the total number of line frames.
 func (c *Cache) Capacity() int { return c.cfg.Sets() * c.cfg.Assoc }
+
+// DumpMetrics exports the cache's statistics and current occupancy into
+// the registry under prefix ("sim.l1" -> "sim.l1.demand_hits", ...).
+// Occupancy distinguishes demand-fetched lines from prefetched ones
+// (and, among those, referenced vs. not) so a snapshot shows how much of
+// the cache the prefetcher currently owns. No-op on a nil registry.
+func (c *Cache) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	set := func(name string, v uint64) { reg.Counter(prefix + "." + name).Set(v) }
+	set("demand_accesses", c.Stats.DemandAccesses)
+	set("demand_hits", c.Stats.DemandHits)
+	set("demand_misses", c.Stats.DemandMisses)
+	set("demand_fills", c.Stats.DemandFills)
+	set("prefetch_fills", c.Stats.PrefetchFills)
+	set("evictions", c.Stats.Evictions)
+	set("writebacks", c.Stats.Writebacks)
+	var valid, pib, pibRef uint64
+	c.ForEach(func(l *Line) {
+		valid++
+		if l.PIB {
+			pib++
+			if l.RIB {
+				pibRef++
+			}
+		}
+	})
+	set("lines_valid", valid)
+	set("lines_capacity", uint64(c.Capacity()))
+	set("lines_prefetched", pib)
+	set("lines_prefetched_referenced", pibRef)
+}
 
 // Flush invalidates everything, returning the number of dirty lines that
 // would have been written back.

@@ -1,0 +1,84 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzConfigString fuzzes the String→Parse round trip: any config that
+// validates must serialize to JSON that parses back to the identical
+// struct (Config is all value types, so == is exact), and the re-parsed
+// config must re-serialize to the same bytes. This is the contract the
+// experiment harness leans on — cfg.String() is the memo-cache key, so a
+// lossy round trip would silently alias distinct machines.
+func FuzzConfigString(f *testing.F) {
+	f.Add(8*1024, 1, 3, 1, 4096, "pa", uint64(1), true, true, 1, 0)
+	f.Add(32*1024, 4, 5, 3, 1024, "pc", uint64(7), false, true, 4, 16)
+	f.Add(16*1024, 2, 4, 2, 64, "adaptive", uint64(42), true, false, 2, 8)
+	f.Add(8*1024, 1, 3, 1, 4096, "none", uint64(0), false, false, 1, 0)
+
+	kinds := []FilterKind{FilterNone, FilterPA, FilterPC, FilterAdaptive, FilterDeadBlock}
+
+	f.Fuzz(func(t *testing.T, l1Size, l1Assoc, l1Ports, l1Lat, tableEntries int,
+		filter string, seed uint64, nsp, sdp bool, degree, victim int) {
+		cfg := Default()
+		cfg.L1.SizeBytes = l1Size
+		cfg.L1.Assoc = l1Assoc
+		cfg.L1.Ports = l1Ports
+		cfg.L1.LatencyCycles = l1Lat
+		cfg.Filter.TableEntries = tableEntries
+		cfg.Filter.Kind = FilterKind(filter)
+		for _, k := range kinds { // map arbitrary strings onto valid kinds too
+			if filter == string(k) {
+				cfg.Filter.Kind = k
+			}
+		}
+		cfg.Seed = seed
+		cfg.Prefetch.EnableNSP = nsp
+		cfg.Prefetch.EnableSDP = sdp
+		cfg.Prefetch.Degree = degree
+		cfg.VictimEntries = victim
+
+		if cfg.Validate() != nil {
+			return // invalid machine: Parse would reject it by design
+		}
+		s := cfg.String()
+		parsed, err := Parse([]byte(s))
+		if err != nil {
+			t.Fatalf("valid config failed to re-parse: %v\n%s", err, s)
+		}
+		if parsed != cfg {
+			t.Fatalf("round trip changed the config:\nbefore: %+v\nafter:  %+v", cfg, parsed)
+		}
+		if again := parsed.String(); again != s {
+			t.Fatalf("second serialization differs:\n%s\nvs\n%s", s, again)
+		}
+	})
+}
+
+// FuzzConfigParse throws arbitrary bytes at Parse: it must never panic,
+// and anything it accepts must satisfy Validate and survive a
+// String→Parse round trip unchanged.
+func FuzzConfigParse(f *testing.F) {
+	f.Add([]byte(Default().String()))
+	f.Add([]byte(Default32K().WithFilter(FilterPC).String()))
+	f.Add([]byte(`{"l1":{"size_bytes":-1}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Parse accepted a config Validate rejects: %v", err)
+		}
+		round, err := Parse([]byte(cfg.String()))
+		if err != nil {
+			t.Fatalf("accepted config failed round trip: %v", err)
+		}
+		if round != cfg {
+			t.Fatalf("round trip changed accepted config:\nbefore: %+v\nafter:  %+v", cfg, round)
+		}
+	})
+}

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/predictor"
 )
 
@@ -285,3 +286,67 @@ func (f *TableFilter) Stats() Stats { return f.stats }
 
 // Table exposes the underlying history table (introspection and tests).
 func (f *TableFilter) Table() *HistoryTable { return f.table }
+
+// CounterDistribution returns how many table entries currently sit at
+// each 2-bit counter value — the filter's learned state in one glance
+// (a table stuck at 0 has absorbed its working set; a table at the
+// initial value has learned nothing).
+func (t *HistoryTable) CounterDistribution() (dist [4]int) {
+	for _, c := range t.counters {
+		dist[c&3]++
+	}
+	return dist
+}
+
+// MetricsDumper is implemented by filters that can export their state
+// into a metrics registry; the simulator type-asserts for it at the end
+// of an instrumented run.
+type MetricsDumper interface {
+	DumpMetrics(reg *metrics.Registry, prefix string)
+}
+
+// DumpMetrics exports filter activity and the history-table counter
+// distribution under prefix ("sim.filter" -> "sim.filter.queries", ...,
+// "sim.filter.table.counter3"). No-op on a nil registry.
+func (f *TableFilter) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	dumpFilterStats(reg, prefix, f.stats)
+	reg.Counter(prefix + ".probe_allows").Set(f.ProbeAllows)
+	dist := f.table.CounterDistribution()
+	for v, n := range dist {
+		reg.Counter(fmt.Sprintf("%s.table.counter%d", prefix, v)).Set(uint64(n))
+	}
+}
+
+// DumpMetrics exports the pass-through filter's training counts.
+func (n *Null) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	dumpFilterStats(reg, prefix, n.stats)
+}
+
+// DumpMetrics exports the adaptive wrapper's own stats plus its inner
+// table filter's state under prefix+".inner".
+func (a *Adaptive) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	dumpFilterStats(reg, prefix, a.stats)
+	engaged := uint64(0)
+	if a.engaged {
+		engaged = 1
+	}
+	reg.Counter(prefix + ".engaged").Set(engaged)
+	a.inner.DumpMetrics(reg, prefix+".inner")
+}
+
+// dumpFilterStats writes the common Stats block.
+func dumpFilterStats(reg *metrics.Registry, prefix string, s Stats) {
+	reg.Counter(prefix + ".queries").Set(s.Queries)
+	reg.Counter(prefix + ".rejected").Set(s.Rejected)
+	reg.Counter(prefix + ".train_good").Set(s.TrainGood)
+	reg.Counter(prefix + ".train_bad").Set(s.TrainBad)
+}

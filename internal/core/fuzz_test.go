@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzHistoryTableIndex fuzzes the filter's table indexing: for any
+// address/PC pair, any power-of-two table size, and both indexing modes,
+// Index must stay in bounds (Predict/Update/Counter all index the backing
+// slice with it, so an out-of-bounds index is a panic in the hot path).
+func FuzzHistoryTableIndex(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x400000), uint8(12), false)
+	f.Add(uint64(0), uint64(0), uint8(0), true)
+	f.Add(^uint64(0), ^uint64(0), uint8(20), true)
+	f.Add(uint64(0xdeadbeef), uint64(0x7fffffffffff), uint8(5), false)
+
+	f.Fuzz(func(t *testing.T, lineAddr, triggerPC uint64, sizeExp uint8, hash bool) {
+		entries := 1 << (sizeExp % 21) // 1 .. 1M entries
+		mode := IndexDirect
+		if hash {
+			mode = IndexHash
+		}
+		table, err := NewHistoryTable(entries, 2, 2, mode)
+		if err != nil {
+			t.Fatalf("NewHistoryTable(%d): %v", entries, err)
+		}
+		for _, key := range []uint64{PAKey(lineAddr, triggerPC), PCKey(lineAddr, triggerPC)} {
+			if i := table.Index(key); i >= uint64(entries) {
+				t.Fatalf("Index(%#x) = %d out of bounds for %d entries (mode %v)", key, i, entries, mode)
+			}
+			// The accessors must agree with Index and not panic.
+			table.Update(key, key%2 == 0)
+			_ = table.Predict(key)
+			_ = table.Counter(key)
+		}
+		var dist int
+		for _, n := range table.CounterDistribution() {
+			dist += n
+		}
+		if dist != entries {
+			t.Fatalf("counter distribution sums to %d, want %d", dist, entries)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/hier"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/predictor"
 )
 
@@ -98,6 +99,12 @@ type CPU struct {
 
 	fetchStallUntil uint64
 
+	// met, when non-nil, receives the core-level results as "sim.cpu.*"
+	// gauges when Run returns. Attachment is end-of-run only — nothing
+	// touches the registry inside the cycle loop — so instrumentation
+	// cannot perturb timing or throughput.
+	met *metrics.Registry
+
 	res Result
 }
 
@@ -118,6 +125,33 @@ func New(cfg config.CPUConfig, h *hier.Hierarchy) (*CPU, error) {
 
 // Branch exposes the branch unit (stats, tests).
 func (c *CPU) Branch() *predictor.Unit { return c.branch }
+
+// AttachMetrics registers the registry that receives the core's results
+// when Run completes. A nil registry detaches.
+func (c *CPU) AttachMetrics(reg *metrics.Registry) { c.met = reg }
+
+// dumpMetrics exports the final Result as "sim.cpu.*" gauges.
+func (c *CPU) dumpMetrics() {
+	reg := c.met
+	if reg == nil {
+		return
+	}
+	set := func(name string, v uint64) { reg.Counter("sim.cpu." + name).Set(v) }
+	set("instructions", c.res.Instructions)
+	set("cycles", c.res.Cycles)
+	set("loads", c.res.Loads)
+	set("stores", c.res.Stores)
+	set("branches", c.res.Branches)
+	set("software_prefetches", c.res.SoftPF)
+	set("alu_ops", c.res.ALUOps)
+	set("branch_predictions", c.res.BranchPredictions)
+	set("branch_mispredictions", c.res.BranchMispredictions)
+	set("port_conflict_cycles", c.res.PortConflictCycles)
+	set("prefetch_port_waits", c.res.PrefetchPortWaits)
+	set("rob_stall_cycles", c.res.ROBStallCycles)
+	set("lsq_stall_cycles", c.res.LSQStallCycles)
+	set("mshr_stall_cycles", c.res.MSHRStallCycles)
+}
 
 func (c *CPU) slot(seq uint64) *robEntry { return &c.rob[seq%uint64(len(c.rob))] }
 
@@ -348,5 +382,6 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 	c.res.Cycles = cycle - cycleBase
 	c.res.BranchPredictions = c.branch.Predictions
 	c.res.BranchMispredictions = c.branch.Mispredictions
+	c.dumpMetrics()
 	return c.res
 }

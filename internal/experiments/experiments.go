@@ -12,8 +12,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -29,6 +31,12 @@ type Params struct {
 	Seed uint64
 	// Benchmarks to include; empty means the paper's ten.
 	Benchmarks []string
+	// Metrics, when non-nil, receives harness telemetry: memo-cache
+	// hits/misses ("experiments.cache.*"), per-benchmark simulation
+	// wall-time histograms ("experiments.sim.wall_ns.<bench>"), and
+	// Prewarm totals ("experiments.prewarm.*"). All updates are nil-safe,
+	// so an unset registry costs nothing.
+	Metrics *metrics.Registry
 
 	cache map[string]stats.Run
 }
@@ -61,8 +69,11 @@ func (p *Params) run(bench string, cfg config.Config) (stats.Run, error) {
 	cfg.Seed = p.Seed
 	key := p.cacheKey(bench, cfg)
 	if r, ok := p.cachedRun(key); ok {
+		p.Metrics.Counter("experiments.cache.hits").Inc()
 		return r, nil
 	}
+	p.Metrics.Counter("experiments.cache.misses").Inc()
+	start := time.Now()
 	r, err := sim.Run(sim.Options{
 		Benchmark:       bench,
 		Config:          cfg,
@@ -72,6 +83,7 @@ func (p *Params) run(bench string, cfg config.Config) (stats.Run, error) {
 	if err != nil {
 		return stats.Run{}, fmt.Errorf("experiments: %s: %w", bench, err)
 	}
+	p.Metrics.Histogram("experiments.sim.wall_ns." + bench).Observe(uint64(time.Since(start)))
 	p.storeRun(key, r)
 	return r, nil
 }

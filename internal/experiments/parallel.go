@@ -10,8 +10,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/sim"
@@ -89,12 +94,15 @@ func (p *Params) standardMatrix() []workItem {
 }
 
 // Prewarm runs the standard matrix concurrently with the given number of
-// workers (<=0 selects GOMAXPROCS) and fills the cache. Returns the first
-// error encountered; the cache keeps whatever completed successfully.
+// workers (<=0 selects GOMAXPROCS) and fills the cache. Every failure is
+// collected and returned joined (errors.Join), sorted by message so the
+// report is deterministic regardless of worker scheduling; the cache
+// keeps whatever completed successfully.
 func (p *Params) Prewarm(workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	start := time.Now()
 	items := p.standardMatrix()
 
 	// Deduplicate by cache key so each simulation runs exactly once.
@@ -111,7 +119,10 @@ func (p *Params) Prewarm(workers int) error {
 	}
 
 	jobs := make(chan workItem)
-	errs := make(chan error, 1)
+	var (
+		errMu sync.Mutex
+		errs  []error
+	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -119,10 +130,9 @@ func (p *Params) Prewarm(workers int) error {
 			defer wg.Done()
 			for it := range jobs {
 				if _, err := p.run(it.bench, it.cfg); err != nil {
-					select {
-					case errs <- err:
-					default: // keep the first error only
-					}
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
 				}
 			}
 		}()
@@ -133,12 +143,39 @@ func (p *Params) Prewarm(workers int) error {
 	close(jobs)
 	wg.Wait()
 
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+	p.Metrics.Counter("experiments.prewarm.sims").Add(uint64(len(seen)))
+	p.Metrics.Counter("experiments.prewarm.errors").Add(uint64(len(errs)))
+	p.Metrics.Histogram("experiments.prewarm.wall_ns").Observe(uint64(time.Since(start)))
+
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errors.Join(errs...)
+}
+
+// Fingerprint serializes every cached run in sorted key order — a
+// byte-exact digest of the harness state. Two Prewarm invocations that
+// are deterministic and complete (any worker count) must produce
+// identical fingerprints.
+func (p *Params) Fingerprint() []byte {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	keys := make([]string, 0, len(p.cache))
+	for k := range p.cache {
+		keys = append(keys, k)
 	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+		b, err := json.Marshal(p.cache[k])
+		if err != nil {
+			// stats.Run is plain data; Marshal cannot fail in practice.
+			buf.WriteString("marshal error: " + err.Error())
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
 }
 
 // CachedRuns reports how many simulations the cache currently holds.

@@ -30,10 +30,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/deadblock"
 	"repro/internal/memdram"
+	"repro/internal/metrics"
 	"repro/internal/pbuffer"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/taxonomy"
+	"repro/internal/trace"
 	"repro/internal/victim"
 	"repro/internal/xrand"
 )
@@ -108,6 +110,67 @@ type Hierarchy struct {
 	Dead *deadblock.Predictor
 	// DeadGated counts prefetches the dead-block gate dropped.
 	DeadGated uint64
+
+	// Trace, when non-nil, receives a cycle-stamped event for every
+	// prefetch lifecycle transition, demand miss, and (via Bus.Trace) bus
+	// grant. Attached by AttachObservability; nil by default so the
+	// un-instrumented hot path pays one predictable branch per site.
+	Trace *trace.Tracer
+	// m holds live metric handles; all nil (no-op) unless attached.
+	m hierMetrics
+	// now is the cycle stamp for events raised from shared helpers
+	// (eviction classification inside fills); maintained by the
+	// entry points that carry a cycle argument.
+	now uint64
+}
+
+// hierMetrics are the hierarchy's live counters. Each handle is nil
+// until AttachObservability registers it, and every update is nil-safe,
+// so the disabled path costs one branch per site. The counters track the
+// stats.Prefetches fields exactly: after Finish, "sim.pf.good" equals
+// Run.Prefetches.Good, and so on — that equality is the contract the
+// observability tests pin.
+type hierMetrics struct {
+	pfIssued, pfGood, pfBad, pfFiltered, pfSquashed, pfOverflow *metrics.Counter
+	pfFills, pfRefs, pfLate, pfMerged                           *metrics.Counter
+	demandAccesses, demandMisses                                *metrics.Counter
+}
+
+// reset zeroes every attached counter (warmup boundary).
+func (m *hierMetrics) reset() {
+	for _, c := range []*metrics.Counter{
+		m.pfIssued, m.pfGood, m.pfBad, m.pfFiltered, m.pfSquashed, m.pfOverflow,
+		m.pfFills, m.pfRefs, m.pfLate, m.pfMerged, m.demandAccesses, m.demandMisses,
+	} {
+		c.Set(0)
+	}
+}
+
+// AttachObservability wires a tracer and/or metrics registry into the
+// hierarchy (and its bus). Either may be nil. Must be called before the
+// run starts; the attached instruments are purely observational and
+// never alter simulation semantics.
+func (h *Hierarchy) AttachObservability(tr *trace.Tracer, reg *metrics.Registry) {
+	h.Trace = tr
+	h.Bus.Trace = tr
+	if reg == nil {
+		h.m = hierMetrics{}
+		return
+	}
+	h.m = hierMetrics{
+		pfIssued:       reg.Counter("sim.pf.issued"),
+		pfGood:         reg.Counter("sim.pf.good"),
+		pfBad:          reg.Counter("sim.pf.bad"),
+		pfFiltered:     reg.Counter("sim.pf.filtered"),
+		pfSquashed:     reg.Counter("sim.pf.squashed"),
+		pfOverflow:     reg.Counter("sim.pf.overflow"),
+		pfFills:        reg.Counter("sim.pf.fills"),
+		pfRefs:         reg.Counter("sim.pf.refs"),
+		pfLate:         reg.Counter("sim.pf.late"),
+		pfMerged:       reg.Counter("sim.pf.merged"),
+		demandAccesses: reg.Counter("sim.demand.accesses"),
+		demandMisses:   reg.Counter("sim.demand.misses"),
+	}
 }
 
 // l2Occupancy is the pipelined issue interval of the single L2 port, in
@@ -230,8 +293,14 @@ func (h *Hierarchy) classifyEvicted(line cache.Line) {
 	}
 	if line.RIB {
 		h.Pf.Good++
+		h.m.pfGood.Inc()
 	} else {
 		h.Pf.Bad++
+		h.m.pfBad.Inc()
+	}
+	if h.Trace != nil {
+		h.Trace.Emit(trace.Event{Cycle: h.now, Kind: trace.KindPrefetchEvict,
+			LineAddr: line.Tag, PC: line.TriggerPC, Good: line.RIB})
 	}
 	h.Filter.Train(core.Feedback{
 		LineAddr:   line.Tag,
@@ -334,8 +403,10 @@ func (h *Hierarchy) writebackL2(lineAddr uint64) {
 // an L1 port for this access.
 func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (done uint64) {
 	lineAddr := h.L1.LineAddr(addr)
+	h.now = now
 	h.Traffic.DemandAccesses++
 	h.L1.Stats.DemandAccesses++
+	h.m.demandAccesses.Inc()
 	if h.Tax != nil {
 		h.Tax.OnDemandRef(lineAddr)
 	}
@@ -354,6 +425,11 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 		ev.L1HitTagged = line.PIB && !line.RIB
 		if line.PIB && !line.RIB {
 			line.RIB = true
+			h.m.pfRefs.Inc()
+			if h.Trace != nil {
+				h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchRef,
+					LineAddr: lineAddr, PC: pc})
+			}
 		}
 		if isStore {
 			line.Dirty = true
@@ -363,6 +439,11 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 		return done
 	}
 	h.L1.Stats.DemandMisses++
+	h.m.demandMisses.Inc()
+	if h.Trace != nil {
+		h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindDemandMiss,
+			LineAddr: lineAddr, PC: pc})
+	}
 
 	// MSHR merge: a demand miss on a line with a prefetch already in
 	// flight waits for the prefetch's fill instead of launching its own
@@ -373,6 +454,11 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 		delete(h.inflightSet, lineAddr)
 		h.merged[lineAddr]++ // Tick will skip one matching heap entry
 		h.Merged++
+		h.m.pfMerged.Inc()
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchMerge,
+				LineAddr: lineAddr, PC: f.triggerPC, Source: f.source})
+		}
 		line, evicted, hadEvict := h.fillL1(lineAddr, true)
 		if h.Tax != nil {
 			h.Tax.OnPrefetchFill(lineAddr, evicted.Tag, hadEvict)
@@ -400,6 +486,12 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 			// Promotion: the prefetch was good. Classify and train now;
 			// the line enters the L1 as an ordinary (PIB=0) line.
 			h.Pf.Good++
+			h.m.pfGood.Inc()
+			h.m.pfRefs.Inc()
+			if h.Trace != nil {
+				h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchRef,
+					LineAddr: lineAddr, PC: pc})
+			}
 			h.Filter.Train(core.Feedback{
 				LineAddr:   entry.LineAddr,
 				TriggerPC:  entry.TriggerPC,
@@ -464,39 +556,57 @@ func (h *Hierarchy) observe(now uint64, ev prefetch.Event) {
 	h.HW.Observe(ev, func(c prefetch.Candidate) { h.submit(now, c) })
 }
 
+// squash records one duplicate-squashed prefetch.
+func (h *Hierarchy) squash() {
+	h.Pf.Squashed++
+	h.m.pfSquashed.Inc()
+}
+
+// filtered records one candidate dropped before the queue (pollution
+// filter or dead-block gate).
+func (h *Hierarchy) filtered(now uint64, c prefetch.Candidate) {
+	h.Pf.Filtered++
+	h.m.pfFiltered.Inc()
+	if h.Trace != nil {
+		h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchFilter,
+			LineAddr: c.LineAddr, PC: c.TriggerPC, Source: c.Source})
+	}
+}
+
 // submit runs one candidate through duplicate squashing and the pollution
 // filter, then enqueues it.
 func (h *Hierarchy) submit(now uint64, c prefetch.Candidate) {
 	// Squash duplicates: already resident, already in flight, or already
 	// queued. No penalty (paper §5.1).
 	if h.L1.Contains(c.LineAddr) {
-		h.Pf.Squashed++
+		h.squash()
 		return
 	}
 	if h.Buffer != nil && h.Buffer.Contains(c.LineAddr) {
-		h.Pf.Squashed++
+		h.squash()
 		return
 	}
 	if _, busy := h.inflightSet[c.LineAddr]; busy {
-		h.Pf.Squashed++
+		h.squash()
 		return
 	}
 	if h.Queue.Contains(c.LineAddr) {
-		h.Pf.Squashed++
+		h.squash()
 		return
 	}
 
 	if !h.Filter.Allow(core.Request{LineAddr: c.LineAddr, TriggerPC: c.TriggerPC, Software: c.Software}) {
-		h.Pf.Filtered++
+		h.filtered(now, c)
 		return
 	}
 	if h.Dead != nil && !h.Dead.AllowPrefetch(h.L1, c.LineAddr) {
 		h.DeadGated++
-		h.Pf.Filtered++
+		h.filtered(now, c)
 		return
 	}
 	if !h.Queue.Enqueue(c, now) {
 		h.Pf.Overflow++
+		h.m.pfOverflow.Inc()
 	}
 }
 
@@ -504,6 +614,7 @@ func (h *Hierarchy) submit(now uint64, c prefetch.Candidate) {
 // cycle now, returning how many L1 ports were consumed. Prefetches found
 // to be redundant at issue time are squashed without consuming a port.
 func (h *Hierarchy) IssuePrefetches(now uint64, ports int) (used int) {
+	h.now = now
 	for used < ports {
 		qc, ok := h.Queue.Front()
 		if !ok {
@@ -513,12 +624,12 @@ func (h *Hierarchy) IssuePrefetches(now uint64, ports int) (used int) {
 		if h.L1.Contains(qc.LineAddr) ||
 			(h.Buffer != nil && h.Buffer.Contains(qc.LineAddr)) {
 			h.Queue.Dequeue()
-			h.Pf.Squashed++
+			h.squash()
 			continue
 		}
 		if _, busy := h.inflightSet[qc.LineAddr]; busy {
 			h.Queue.Dequeue()
-			h.Pf.Squashed++
+			h.squash()
 			continue
 		}
 		h.Queue.Dequeue()
@@ -529,6 +640,11 @@ func (h *Hierarchy) IssuePrefetches(now uint64, ports int) (used int) {
 		h.Traffic.PrefetchAccesses++
 		ready, _ := h.l2Access(now+uint64(h.cfg.L1.LatencyCycles), qc.LineAddr, true)
 		h.Pf.Issued++
+		h.m.pfIssued.Inc()
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchIssue,
+				LineAddr: qc.LineAddr, PC: qc.TriggerPC, Source: qc.Source})
+		}
 		h.BySource[qc.Source]++
 		f := inflight{
 			done:      ready,
@@ -566,9 +682,18 @@ func (h *Hierarchy) Tick(now uint64) {
 			}
 		}
 		delete(h.inflightSet, f.lineAddr)
+		// Events from this fill are stamped at its arrival cycle, which
+		// is exact even during the end-of-run drain (Tick(^uint64(0))).
+		h.now = f.done
 		if h.L1.Contains(f.lineAddr) || (h.Buffer != nil && h.Buffer.Contains(f.lineAddr)) {
 			h.LatePrefetches++
 			h.Pf.Bad++
+			h.m.pfLate.Inc()
+			h.m.pfBad.Inc()
+			if h.Trace != nil {
+				h.Trace.Emit(trace.Event{Cycle: f.done, Kind: trace.KindPrefetchLate,
+					LineAddr: f.lineAddr, PC: f.triggerPC, Source: f.source})
+			}
 			h.Filter.Train(core.Feedback{
 				LineAddr:   f.lineAddr,
 				TriggerPC:  f.triggerPC,
@@ -576,13 +701,24 @@ func (h *Hierarchy) Tick(now uint64) {
 			})
 			continue
 		}
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: f.done, Kind: trace.KindPrefetchFill,
+				LineAddr: f.lineAddr, PC: f.triggerPC, Source: f.source})
+		}
+		h.m.pfFills.Inc()
 		if h.Buffer != nil {
 			evicted, hadEvict := h.Buffer.Insert(f.lineAddr, f.triggerPC, f.software)
 			if hadEvict {
 				if evicted.Referenced {
 					h.Pf.Good++
+					h.m.pfGood.Inc()
 				} else {
 					h.Pf.Bad++
+					h.m.pfBad.Inc()
+				}
+				if h.Trace != nil {
+					h.Trace.Emit(trace.Event{Cycle: f.done, Kind: trace.KindPrefetchEvict,
+						LineAddr: evicted.LineAddr, PC: evicted.TriggerPC, Good: evicted.Referenced})
 				}
 				h.Filter.Train(core.Feedback{
 					LineAddr:   evicted.LineAddr,
@@ -614,6 +750,7 @@ func (h *Hierarchy) ResetStats() {
 	h.LatePrefetches = 0
 	h.Merged = 0
 	h.DeadGated = 0
+	h.m.reset()
 	if h.Dead != nil {
 		h.Dead.ResetStats()
 	}
@@ -647,6 +784,7 @@ func (h *Hierarchy) Finish() {
 	for _, qc := range h.Queue.Drain() {
 		_ = qc
 		h.Pf.Overflow++
+		h.m.pfOverflow.Inc()
 	}
 
 	h.L1.ForEach(func(line *cache.Line) {
@@ -656,9 +794,11 @@ func (h *Hierarchy) Finish() {
 		if line.RIB {
 			h.Pf.Good++
 			h.Pf.ResidentGood++
+			h.m.pfGood.Inc()
 		} else {
 			h.Pf.Bad++
 			h.Pf.ResidentBad++
+			h.m.pfBad.Inc()
 		}
 	})
 	if h.Buffer != nil {
@@ -666,9 +806,11 @@ func (h *Hierarchy) Finish() {
 			if e.Referenced {
 				h.Pf.Good++
 				h.Pf.ResidentGood++
+				h.m.pfGood.Inc()
 			} else {
 				h.Pf.Bad++
 				h.Pf.ResidentBad++
+				h.m.pfBad.Inc()
 			}
 		}
 	}

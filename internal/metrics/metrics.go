@@ -1,0 +1,319 @@
+// Package metrics is the simulator's lock-free telemetry registry.
+//
+// A Registry holds named counters and histograms keyed by hierarchical
+// dotted names ("sim.pf.good", "experiments.cache.hits"). Registration
+// (the first lookup of a name) takes a mutex; every subsequent update is
+// a single atomic add on a handle the caller caches, so instrumented hot
+// paths stay lock-free and safe under `go test -race` even when many
+// simulation workers share one registry.
+//
+// All update methods are nil-receiver safe: a component whose registry
+// was never attached holds nil handles, and c.Inc() on a nil *Counter is
+// a branch-predictable no-op. That is the "disabled" fast path the
+// simulator relies on to keep un-instrumented runs at full speed.
+//
+// Snapshot captures a consistent-enough point-in-time copy of every
+// value (each value is read atomically; the set as a whole is not a
+// global atomic cut, which is fine for monotonic counters). Snapshots
+// subtract (Diff) and add (Merge) component-wise, so interval deltas are
+// additive: Diff(c,a) == Merge(Diff(b,a), Diff(c,b)) for any snapshots
+// a ≤ b ≤ c of one registry.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (or explicitly Set) uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Set stores an absolute value (end-of-run gauges, warmup resets).
+// No-op on a nil receiver.
+func (c *Counter) Set(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
+// zeros and bucket i holds [2^(i-1), 2^i). 65 buckets cover all of
+// uint64.
+const histBuckets = 65
+
+// Histogram is a lock-free power-of-two-bucketed histogram. It trades
+// resolution for a fixed footprint and wait-free updates, which is what
+// per-simulation latency/size distributions need.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns sum/count (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Registry is the named-metric namespace. The zero value is not usable;
+// call New. A nil *Registry is a valid "disabled" registry: Counter and
+// Histogram return nil handles whose updates no-op.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramValue is the snapshot form of one histogram.
+type HistogramValue struct {
+	Count   uint64
+	Sum     uint64
+	Buckets map[int]uint64 // bucket exponent -> count; empty buckets omitted
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's values.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Histograms map[string]HistogramValue
+}
+
+// Snapshot copies every registered value. Safe for concurrent use with
+// updates; each individual value is read atomically. Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistogramValue),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{Count: h.count.Load(), Sum: h.sum.Load(), Buckets: make(map[int]uint64)}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hv.Buckets[i] = n
+			}
+		}
+		s.Histograms[name] = hv
+	}
+	return s
+}
+
+// Diff returns s - prev component-wise: the activity between the two
+// snapshots. Names absent from prev count from zero; names absent from s
+// are dropped. Counter diffs saturate at zero if a counter was Set
+// backwards between snapshots.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		p := prev.Counters[name]
+		if v >= p {
+			d.Counters[name] = v - p
+		} else {
+			d.Counters[name] = 0
+		}
+	}
+	for name, hv := range s.Histograms {
+		p := prev.Histograms[name]
+		dv := HistogramValue{Buckets: make(map[int]uint64)}
+		if hv.Count >= p.Count {
+			dv.Count = hv.Count - p.Count
+		}
+		if hv.Sum >= p.Sum {
+			dv.Sum = hv.Sum - p.Sum
+		}
+		for i, n := range hv.Buckets {
+			if pn := p.Buckets[i]; n > pn {
+				dv.Buckets[i] = n - pn
+			}
+		}
+		d.Histograms[name] = dv
+	}
+	return d
+}
+
+// Merge returns s + other component-wise, the inverse of Diff across
+// adjacent intervals.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	m := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		m.Counters[name] = v
+	}
+	for name, v := range other.Counters {
+		m.Counters[name] += v
+	}
+	merge := func(name string, hv HistogramValue) {
+		cur, ok := m.Histograms[name]
+		if !ok {
+			cur = HistogramValue{Buckets: make(map[int]uint64)}
+		}
+		cur.Count += hv.Count
+		cur.Sum += hv.Sum
+		for i, n := range hv.Buckets {
+			cur.Buckets[i] += n
+		}
+		m.Histograms[name] = cur
+	}
+	for name, hv := range s.Histograms {
+		merge(name, hv)
+	}
+	for name, hv := range other.Histograms {
+		merge(name, hv)
+	}
+	return m
+}
+
+// Names returns every metric name in the snapshot, sorted, counters and
+// histograms interleaved lexicographically.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTo dumps the snapshot as "name value" lines in sorted order;
+// histograms render as "name count=N sum=S mean=M". The deterministic
+// order makes snapshots diffable in logs and tests.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, name := range s.Names() {
+		var line string
+		if v, ok := s.Counters[name]; ok {
+			line = fmt.Sprintf("%-40s %d\n", name, v)
+		} else {
+			hv := s.Histograms[name]
+			line = fmt.Sprintf("%-40s count=%d sum=%d mean=%.1f\n", name, hv.Count, hv.Sum, hv.Mean())
+		}
+		n, err := io.WriteString(w, line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

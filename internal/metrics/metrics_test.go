@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return the same handle")
+	}
+	c.Set(2)
+	if got := c.Value(); got != 2 {
+		t.Fatalf("after Set: %d, want 2", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	c.Inc()
+	c.Add(3)
+	c.Set(9)
+	h.Observe(7)
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1034 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	hv := r.Snapshot().Histograms["lat"]
+	// 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 11: 1}
+	for b, n := range want {
+		if hv.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", b, hv.Buckets[b], n, hv.Buckets)
+		}
+	}
+	if hv.Mean() == 0 {
+		t.Fatal("mean must be nonzero")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*each {
+		t.Fatalf("shared = %d, want %d", got, workers*each)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*each {
+		t.Fatalf("hist count = %d, want %d", got, workers*each)
+	}
+}
+
+// TestSnapshotDiffAdditive is the registry's interval-additivity
+// property: for snapshots a <= b <= c of one registry,
+// Diff(c,a) == Merge(Diff(b,a), Diff(c,b)).
+func TestSnapshotDiffAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		r := New()
+		names := []string{"a", "a.b", "a.c", "d"}
+		mutate := func() {
+			for i := 0; i < 20; i++ {
+				n := names[rng.Intn(len(names))]
+				if rng.Intn(2) == 0 {
+					r.Counter(n).Add(uint64(rng.Intn(10)))
+				} else {
+					r.Histogram(n + ".h").Observe(uint64(rng.Intn(1 << 12)))
+				}
+			}
+		}
+		a := r.Snapshot()
+		mutate()
+		b := r.Snapshot()
+		mutate()
+		c := r.Snapshot()
+
+		whole := c.Diff(a)
+		parts := b.Diff(a).Merge(c.Diff(b))
+		if !snapshotsEqual(whole, parts) {
+			t.Fatalf("trial %d: Diff not additive:\nwhole=%+v\nparts=%+v", trial, whole, parts)
+		}
+	}
+}
+
+func snapshotsEqual(a, b Snapshot) bool {
+	if len(a.Counters) != len(b.Counters) {
+		return false
+	}
+	for n, v := range a.Counters {
+		if b.Counters[n] != v {
+			return false
+		}
+	}
+	if len(a.Histograms) != len(b.Histograms) {
+		return false
+	}
+	for n, hv := range a.Histograms {
+		o, ok := b.Histograms[n]
+		if !ok || o.Count != hv.Count || o.Sum != hv.Sum || len(o.Buckets) != len(hv.Buckets) {
+			return false
+		}
+		for i, c := range hv.Buckets {
+			if o.Buckets[i] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSnapshotWriteTo(t *testing.T) {
+	r := New()
+	r.Counter("z.last").Add(3)
+	r.Counter("a.first").Add(1)
+	r.Histogram("m.hist").Observe(10)
+	var sb strings.Builder
+	if _, err := r.Snapshot().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	ai, mi, zi := strings.Index(out, "a.first"), strings.Index(out, "m.hist"), strings.Index(out, "z.last")
+	if ai < 0 || mi < 0 || zi < 0 || !(ai < mi && mi < zi) {
+		t.Fatalf("dump not sorted:\n%s", out)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/hier"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/taxonomy"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -41,6 +43,17 @@ type Options struct {
 	// Taxonomy instruments the run with the full Srinivasan prefetch
 	// taxonomy (reference [17]); the result lands in Run.Taxonomy.
 	Taxonomy bool
+	// Trace, when non-nil, receives cycle-stamped events for the whole
+	// prefetch lifecycle (issue/filter/fill/reference/eviction), demand
+	// misses, and bus grants. Purely observational. Warmup events are
+	// recorded too; the trace is the full run's timeline.
+	Trace *trace.Tracer
+	// Metrics, when non-nil, receives live "sim.*" counters during the
+	// run (reset at the warmup boundary alongside stats) and end-of-run
+	// gauges for the CPU, caches, and filter. After Run returns, the
+	// registry's sim.pf.good/bad/filtered counters equal the returned
+	// Run.Prefetches aggregates exactly.
+	Metrics *metrics.Registry
 }
 
 // DefaultInstructions is the per-run instruction budget experiments use
@@ -115,6 +128,10 @@ func Run(opts Options) (stats.Run, error) {
 	if err != nil {
 		return stats.Run{}, err
 	}
+	if opts.Trace != nil || opts.Metrics != nil {
+		h.AttachObservability(opts.Trace, opts.Metrics)
+		c.AttachMetrics(opts.Metrics)
+	}
 
 	warmup := opts.Warmup
 	switch {
@@ -159,6 +176,19 @@ func Run(opts Options) (stats.Run, error) {
 	if h.Tax != nil {
 		counts := h.Tax.Counts
 		run.Taxonomy = &counts
+	}
+	if reg := opts.Metrics; reg != nil {
+		h.L1.DumpMetrics(reg, "sim.l1")
+		h.L2.DumpMetrics(reg, "sim.l2")
+		if d, ok := filter.(core.MetricsDumper); ok {
+			d.DumpMetrics(reg, "sim.filter")
+		}
+		reg.Counter("sim.bus.transfers").Set(h.Bus.Transfers)
+		reg.Counter("sim.bus.bytes_moved").Set(h.Bus.BytesMoved)
+		reg.Counter("sim.bus.busy_cycles").Set(h.Bus.BusyCycles)
+		reg.Counter("sim.bus.stall_cycles").Set(h.Bus.StallCycles)
+		reg.Counter("sim.bus.demand_transfers").Set(h.Bus.DemandXfers)
+		reg.Counter("sim.bus.prefetch_transfers").Set(h.Bus.PrefetchXfers)
 	}
 	return run, nil
 }

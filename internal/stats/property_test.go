@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// Property tests for the classification identities every consumer of
+// Prefetches assumes. Exercised over randomized counters (seeded, so the
+// run is reproducible) and the adversarial corners: zero, max-uint64,
+// and good/bad-only populations.
+
+func randomPrefetches(rng *rand.Rand) Prefetches {
+	// Mix magnitudes: small counts, large counts, occasional extremes.
+	n := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return uint64(rng.Intn(4)) // 0..3: boundary-heavy
+		case 1:
+			return uint64(rng.Intn(1_000_000))
+		case 2:
+			return rng.Uint64() >> 16
+		default:
+			return rng.Uint64() >> 1 // huge but sum-safe
+		}
+	}
+	return Prefetches{Issued: n(), Good: n(), Bad: n(), Filtered: n(), Squashed: n(), Overflow: n()}
+}
+
+func TestPrefetchesClassificationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []Prefetches{
+		{},
+		{Good: 1},
+		{Bad: 1},
+		{Good: math.MaxUint64 >> 1, Bad: math.MaxUint64 >> 1},
+	}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, randomPrefetches(rng))
+	}
+	for _, p := range cases {
+		if got, want := p.Classified(), p.Good+p.Bad; got != want {
+			t.Fatalf("%+v: Classified() = %d, want Good+Bad = %d", p, got, want)
+		}
+		gf := p.GoodFraction()
+		if math.IsNaN(gf) || gf < 0 || gf > 1 {
+			t.Fatalf("%+v: GoodFraction() = %v, want within [0,1]", p, gf)
+		}
+		if p.Classified() == 0 && gf != 0 {
+			t.Fatalf("%+v: GoodFraction() = %v with nothing classified, want 0", p, gf)
+		}
+		r := p.BadGoodRatio()
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			t.Fatalf("%+v: BadGoodRatio() = %v, want finite and non-negative", p, r)
+		}
+		if p.Good == 0 && r != float64(p.Bad) {
+			t.Fatalf("%+v: BadGoodRatio() = %v with zero good, want %v", p, r, float64(p.Bad))
+		}
+	}
+}
+
+// TestSnapshotDiffAdditiveOverIntervals pins the interval-accounting
+// identity observability relies on: summing per-interval metric diffs
+// must reconstruct the whole-run diff exactly, for any cut points. This
+// mirrors how a monitor samples sim.pf.* counters mid-run.
+func TestSnapshotDiffAdditiveOverIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	reg := metrics.New()
+	names := []string{"sim.pf.issued", "sim.pf.good", "sim.pf.bad", "sim.demand.misses"}
+
+	base := reg.Snapshot()
+	whole := metrics.Snapshot{}
+	prev := base
+	// 10 intervals of random activity; accumulate the per-interval diffs.
+	for interval := 0; interval < 10; interval++ {
+		for ev := 0; ev < 200; ev++ {
+			reg.Counter(names[rng.Intn(len(names))]).Add(uint64(rng.Intn(50)))
+		}
+		cur := reg.Snapshot()
+		whole = whole.Merge(cur.Diff(prev))
+		prev = cur
+	}
+	direct := reg.Snapshot().Diff(base)
+	for _, name := range names {
+		if whole.Counters[name] != direct.Counters[name] {
+			t.Fatalf("%s: interval sum %d != whole-run diff %d",
+				name, whole.Counters[name], direct.Counters[name])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace records cycle-stamped simulation events — the prefetch
+// lifecycle (issue, filter drop, fill, first reference, eviction
+// classification, late arrival, MSHR merge), demand misses, and bus
+// grants — in a fixed-capacity ring buffer with optional JSONL export
+// and per-interval rollups.
+//
+// The paper's accounting (§3 good/bad classification, Figure 2 traffic
+// splits, §5.4 port contention) is all end-of-run aggregates; the tracer
+// is the instrument that makes the path between "prefetch issued" and
+// "final IPC" inspectable. Rollups compute the interval-level accuracy /
+// coverage / pollution telemetry that adaptive-filtering work (Jamet et
+// al.'s two-level neural filter, ChampSim-style per-interval tracking)
+// trains on.
+//
+// A nil *Tracer is a valid "disabled" tracer: Emit on it is a no-op, so
+// instrumented components hold a possibly-nil pointer and pay only a
+// branch on the hot path. The tracer is deliberately single-simulation
+// state (like the hierarchy it observes) and is not safe for concurrent
+// Emit; parallel harnesses attach one tracer per simulation.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates traceable events.
+type Kind uint8
+
+// Event kinds. The prefetch lifecycle is: Issue → Fill → Ref* → Evict
+// (good) or Issue → Fill → Evict (bad), with Filter terminating the
+// lifecycle before Issue, Late replacing Fill when the demand beat the
+// prefetch, and Merge marking a demand miss that claimed an in-flight
+// prefetch.
+const (
+	KindPrefetchIssue  Kind = iota + 1 // prefetch left the queue toward L2/memory
+	KindPrefetchFilter                 // candidate dropped by the pollution filter
+	KindPrefetchFill                   // prefetch fill installed in the L1/buffer
+	KindPrefetchRef                    // first demand reference to a prefetched line
+	KindPrefetchEvict                  // prefetched line evicted and classified
+	KindPrefetchLate                   // fill arrived after a demand fetch (dropped, bad)
+	KindPrefetchMerge                  // demand miss merged with an in-flight prefetch
+	KindDemandMiss                     // L1 demand miss
+	KindBusGrant                       // bus granted one line transfer
+	kindMax                            // sentinel: number of kinds + 1
+)
+
+var kindNames = [...]string{
+	KindPrefetchIssue:  "prefetch_issue",
+	KindPrefetchFilter: "prefetch_filter",
+	KindPrefetchFill:   "prefetch_fill",
+	KindPrefetchRef:    "prefetch_ref",
+	KindPrefetchEvict:  "prefetch_evict",
+	KindPrefetchLate:   "prefetch_late",
+	KindPrefetchMerge:  "prefetch_merge",
+	KindDemandMiss:     "demand_miss",
+	KindBusGrant:       "bus_grant",
+}
+
+// String returns the JSONL name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined event kind.
+func (k Kind) Valid() bool { return k >= KindPrefetchIssue && k < kindMax }
+
+// Event is one cycle-stamped occurrence. Which fields are meaningful
+// depends on Kind: prefetch events carry LineAddr/PC/Source, eviction
+// events carry Good, bus grants carry Bytes in Val, demand misses carry
+// LineAddr/PC.
+type Event struct {
+	Cycle    uint64
+	Kind     Kind
+	LineAddr uint64
+	PC       uint64
+	Source   string // prefetch generator ("nsp", "sdp", "stride", "sw", ...)
+	Good     bool   // eviction classification (KindPrefetchEvict only)
+	Val      uint64 // generic payload: transfer bytes for KindBusGrant
+}
+
+// Tracer buffers the most recent events and accumulates rollups.
+type Tracer struct {
+	ring  []Event
+	total uint64 // events ever emitted (ring keeps the last len(ring))
+	mask  uint64 // enabled-kind bitmask; all kinds by default
+
+	interval uint64 // rollup width in cycles; 0 disables rollups
+	rollups  []Rollup
+}
+
+// maxRollups bounds rollup memory against pathological cycle stamps.
+const maxRollups = 1 << 20
+
+// New builds a tracer retaining the last capacity events (minimum 1).
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, 0, capacity), mask: ^uint64(0)}
+}
+
+// WithInterval enables per-interval rollups of the given cycle width and
+// returns the tracer for chaining.
+func (t *Tracer) WithInterval(cycles uint64) *Tracer {
+	t.interval = cycles
+	return t
+}
+
+// EnableOnly restricts buffering and rollups to the given kinds
+// (useful to drop noisy bus grants from long traces).
+func (t *Tracer) EnableOnly(kinds ...Kind) *Tracer {
+	t.mask = 0
+	for _, k := range kinds {
+		t.mask |= 1 << uint(k)
+	}
+	return t
+}
+
+// Enabled reports whether events of kind k are recorded. False on a nil
+// tracer, so callers building an expensive Event can skip construction.
+func (t *Tracer) Enabled(k Kind) bool {
+	return t != nil && t.mask&(1<<uint(k)) != 0
+}
+
+// Emit records one event. No-op on a nil tracer or a masked-out kind.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.mask&(1<<uint(ev.Kind)) == 0 {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.total%uint64(cap(t.ring))] = ev
+	}
+	t.total++
+	if t.interval > 0 {
+		t.rollInto(ev)
+	}
+}
+
+// Total returns the number of events ever emitted (buffered or not).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many emitted events have been overwritten in the
+// ring (Total - buffered).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns the buffered events oldest-first. The slice is freshly
+// allocated; mutating it does not disturb the tracer.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if t.total > uint64(cap(t.ring)) {
+		// Ring has wrapped: oldest entry sits at the write cursor.
+		cur := int(t.total % uint64(cap(t.ring)))
+		out = append(out, t.ring[cur:]...)
+		out = append(out, t.ring[:cur]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object
+// per line:
+//
+//	{"cycle":1042,"kind":"prefetch_issue","line":"0x21c0","pc":"0x4007f0","src":"nsp"}
+//
+// Only meaningful fields are emitted per kind; line/pc render as hex
+// strings for readability alongside objdump/trace output.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		if err := writeEventJSON(bw, ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeEventJSON renders one event. Hand-rolled (not encoding/json) to
+// keep field order stable and avoid per-event allocation on export.
+func writeEventJSON(w *bufio.Writer, ev Event) error {
+	fmt.Fprintf(w, `{"cycle":%d,"kind":%q`, ev.Cycle, ev.Kind.String())
+	switch ev.Kind {
+	case KindBusGrant:
+		fmt.Fprintf(w, `,"bytes":%d`, ev.Val)
+		if ev.Source != "" {
+			fmt.Fprintf(w, `,"src":%q`, ev.Source)
+		}
+	default:
+		fmt.Fprintf(w, `,"line":"0x%x"`, ev.LineAddr)
+		if ev.PC != 0 {
+			fmt.Fprintf(w, `,"pc":"0x%x"`, ev.PC)
+		}
+		if ev.Source != "" {
+			fmt.Fprintf(w, `,"src":%q`, ev.Source)
+		}
+		if ev.Kind == KindPrefetchEvict {
+			fmt.Fprintf(w, `,"good":%t`, ev.Good)
+		}
+	}
+	_, err := w.WriteString("}\n")
+	return err
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Cycle: 1, Kind: KindDemandMiss})
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Rollups() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	if tr.Enabled(KindDemandMiss) {
+		t.Fatal("nil tracer reports nothing enabled")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: KindDemandMiss})
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d", tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("buffered %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != uint64(6+i) {
+			t.Fatalf("event %d cycle %d, want %d (oldest-first)", i, ev.Cycle, 6+i)
+		}
+	}
+}
+
+func TestEnableOnly(t *testing.T) {
+	tr := New(16).EnableOnly(KindPrefetchIssue, KindPrefetchEvict)
+	tr.Emit(Event{Kind: KindBusGrant})
+	tr.Emit(Event{Kind: KindPrefetchIssue})
+	tr.Emit(Event{Kind: KindDemandMiss})
+	tr.Emit(Event{Kind: KindPrefetchEvict, Good: true})
+	if tr.Total() != 2 {
+		t.Fatalf("total = %d, want 2 (mask must drop the rest)", tr.Total())
+	}
+	if tr.Enabled(KindBusGrant) || !tr.Enabled(KindPrefetchIssue) {
+		t.Fatal("Enabled disagrees with mask")
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := KindPrefetchIssue; k < kindMax; k++ {
+		if !k.Valid() {
+			t.Fatalf("kind %d should be valid", k)
+		}
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d name %q empty or duplicated", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(0).Valid() || kindMax.Valid() {
+		t.Fatal("sentinels must be invalid")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Cycle: 5, Kind: KindPrefetchIssue, LineAddr: 0x21c0, PC: 0x4007f0, Source: "nsp"})
+	tr.Emit(Event{Cycle: 9, Kind: KindPrefetchEvict, LineAddr: 0x21c0, Good: true})
+	tr.Emit(Event{Cycle: 11, Kind: KindBusGrant, Val: 32, Source: "prefetch"})
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	// Every line must be valid standalone JSON with the expected fields.
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["cycle"] != float64(5) || first["kind"] != "prefetch_issue" ||
+		first["line"] != "0x21c0" || first["pc"] != "0x4007f0" || first["src"] != "nsp" {
+		t.Fatalf("line 0 fields wrong: %v", first)
+	}
+	var evict map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &evict); err != nil {
+		t.Fatal(err)
+	}
+	if evict["good"] != true {
+		t.Fatalf("evict line missing good: %v", evict)
+	}
+	var bus map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &bus); err != nil {
+		t.Fatal(err)
+	}
+	if bus["bytes"] != float64(32) || bus["src"] != "prefetch" {
+		t.Fatalf("bus line fields wrong: %v", bus)
+	}
+}
+
+func TestRollups(t *testing.T) {
+	tr := New(4).WithInterval(100)
+	// Interval 0: 2 issues, 1 ref, 1 demand miss, 1 good + 1 bad evict.
+	tr.Emit(Event{Cycle: 10, Kind: KindPrefetchIssue})
+	tr.Emit(Event{Cycle: 20, Kind: KindPrefetchIssue})
+	tr.Emit(Event{Cycle: 30, Kind: KindPrefetchRef})
+	tr.Emit(Event{Cycle: 40, Kind: KindDemandMiss})
+	tr.Emit(Event{Cycle: 50, Kind: KindPrefetchEvict, Good: true})
+	tr.Emit(Event{Cycle: 60, Kind: KindPrefetchEvict, Good: false})
+	// Interval 2 (interval 1 stays empty): a merge and bus traffic.
+	tr.Emit(Event{Cycle: 250, Kind: KindPrefetchMerge})
+	tr.Emit(Event{Cycle: 260, Kind: KindBusGrant, Val: 32})
+	// Out-of-order arrival back into interval 0 must still attribute there.
+	tr.Emit(Event{Cycle: 70, Kind: KindDemandMiss})
+
+	rs := tr.Rollups()
+	if len(rs) != 3 {
+		t.Fatalf("got %d rollups, want 3 (gapless)", len(rs))
+	}
+	r0 := rs[0]
+	if r0.Issued() != 2 || r0.DemandMisses() != 2 || r0.GoodEvicts != 1 || r0.BadEvicts != 1 {
+		t.Fatalf("interval 0: %+v", r0)
+	}
+	if got := r0.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+	// Coverage: useful=1 (ref), misses=2 -> 1/3.
+	if got := r0.Coverage(); got < 0.333 || got > 0.334 {
+		t.Fatalf("coverage = %v, want 1/3", got)
+	}
+	if got := r0.PollutionRate(); got != 0.5 {
+		t.Fatalf("pollution = %v, want 0.5", got)
+	}
+	if rs[1].Counts != (Rollup{}.Counts) {
+		t.Fatalf("interval 1 should be empty: %+v", rs[1])
+	}
+	r2 := rs[2]
+	if r2.Useful() != 1 || r2.BusBytes != 32 {
+		t.Fatalf("interval 2: %+v", r2)
+	}
+	if r2.StartCycle != 200 || r2.EndCycle != 300 {
+		t.Fatalf("interval 2 bounds [%d,%d)", r2.StartCycle, r2.EndCycle)
+	}
+	// Ring capacity (4) must not limit rollup accounting (9 events).
+	if tr.Total() != 9 || len(tr.Events()) != 4 {
+		t.Fatalf("total=%d buffered=%d", tr.Total(), len(tr.Events()))
+	}
+}
+
+func TestRollupClampsAbsurdCycles(t *testing.T) {
+	tr := New(4).WithInterval(10)
+	tr.Emit(Event{Cycle: 5, Kind: KindDemandMiss})
+	// End-of-run drain can stamp far-future cycles; they must clamp into
+	// the last open interval instead of allocating 2^50 rollups.
+	tr.Emit(Event{Cycle: 1 << 60, Kind: KindPrefetchEvict, Good: false})
+	rs := tr.Rollups()
+	if len(rs) != 1 || rs[0].BadEvicts != 1 {
+		t.Fatalf("rollups = %+v", rs)
+	}
+}
