@@ -2,14 +2,18 @@
 //
 // Usage:
 //
-//	pfexperiments -list            # show available experiments
-//	pfexperiments -exp fig6        # regenerate one figure
-//	pfexperiments -all             # regenerate everything (results_full.txt)
-//	pfexperiments -exp fig12 -csv  # CSV instead of aligned text
-//	pfexperiments -all -n 5000000  # longer runs for tighter statistics
+//	pfexperiments -list              # show available experiments
+//	pfexperiments -exp fig6          # regenerate one figure
+//	pfexperiments -all               # regenerate everything (results_full.txt)
+//	pfexperiments -all -jobs 8       # pre-warm on 8 work-stealing workers
+//	pfexperiments -all -deadline 5m  # abandon queued sims past the deadline
+//	pfexperiments -exp fig12 -csv    # CSV instead of aligned text
+//	pfexperiments -all -n 5000000    # longer runs for tighter statistics
+//	pfexperiments -bench-json        # timed bench matrix -> BENCH_baseline.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,18 +26,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		md     = flag.Bool("md", false, "emit GitHub-flavored markdown")
-		n      = flag.Int64("n", 2_000_000, "measured instructions per run")
-		warmup = flag.Int64("warmup", 1_000_000, "warmup instructions per run")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
-		jobs   = flag.Int("j", 0, "parallel simulation workers for pre-warming (0 = GOMAXPROCS, 1 = serial)")
-		met    = flag.Bool("metrics", false, "print harness telemetry (cache hits/misses, per-benchmark sim wall time) after the run")
+		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		md       = flag.Bool("md", false, "emit GitHub-flavored markdown")
+		n        = flag.Int64("n", 2_000_000, "measured instructions per run")
+		warmup   = flag.Int64("warmup", 1_000_000, "warmup instructions per run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the simulation sweep (0 = none); queued sims past it are abandoned")
+		met      = flag.Bool("metrics", false, "print harness telemetry (cache hits/misses, scheduler steals, per-benchmark sim wall time) after the run")
+		benchOut = flag.String("bench-out", "BENCH_baseline.json", "output path for -bench-json")
+		benchJSN = flag.Bool("bench-json", false, "run the timed (benchmark x filter) bench matrix and write a BENCH JSON report")
 	)
+	var jobs int
+	flag.IntVar(&jobs, "jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&jobs, "j", 0, "shorthand for -jobs")
 	flag.Parse()
 
 	if *list {
@@ -47,8 +56,45 @@ func main() {
 	if *bench != "" {
 		params.Benchmarks = strings.Split(*bench, ",")
 	}
-	if *met {
+	if *met || *benchJSN {
 		params.Metrics = metrics.New()
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	if *benchJSN {
+		start := time.Now()
+		report, err := params.BenchJSON(ctx, jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench matrix: %d sims in %.1fs (serial-equivalent %.1fs, speedup %.2fx, %d steals) -> %s\n",
+			len(report.Entries), time.Since(start).Seconds(),
+			time.Duration(report.SerialWallNS).Seconds(), report.Speedup(), report.Steals, *benchOut)
+		if *met {
+			printTelemetry(&params)
+		}
+		return
 	}
 
 	var targets []experiments.Experiment
@@ -63,15 +109,15 @@ func main() {
 		}
 		targets = []experiments.Experiment{e}
 	default:
-		fmt.Fprintln(os.Stderr, "pfexperiments: need -exp <id> or -all; try -list")
+		fmt.Fprintln(os.Stderr, "pfexperiments: need -exp <id>, -all, or -bench-json; try -list")
 		os.Exit(1)
 	}
 
 	// Pre-warm the shared simulation matrix in parallel when running more
 	// than one experiment; each experiment then reads memoized results.
-	if len(targets) > 1 && *jobs != 1 {
+	if len(targets) > 1 && jobs != 1 {
 		start := time.Now()
-		if err := params.Prewarm(*jobs); err != nil {
+		if err := params.PrewarmCtx(ctx, jobs); err != nil {
 			fmt.Fprintf(os.Stderr, "pfexperiments: prewarm: %v\n", err)
 			os.Exit(1)
 		}
@@ -107,12 +153,20 @@ func main() {
 		}
 	}
 
-	if params.Metrics != nil {
-		fmt.Println()
-		fmt.Println("--- harness telemetry ---")
-		if _, err := params.Metrics.Snapshot().WriteTo(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "pfexperiments:", err)
-			os.Exit(1)
-		}
+	if *met {
+		printTelemetry(&params)
+	}
+}
+
+// printTelemetry dumps the harness metrics snapshot when one is attached.
+func printTelemetry(params *experiments.Params) {
+	if params.Metrics == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Println("--- harness telemetry ---")
+	if _, err := params.Metrics.Snapshot().WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pfexperiments:", err)
+		os.Exit(1)
 	}
 }

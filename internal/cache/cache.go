@@ -75,12 +75,28 @@ func (s Stats) MissRate() float64 {
 	return float64(s.DemandMisses) / float64(s.DemandAccesses)
 }
 
+// invalidTag marks an empty frame in the dense tag array. It cannot
+// shadow a real line address: line addresses are byte addresses shifted
+// right by the offset bits, so the all-ones pattern is out of range.
+const invalidTag = ^uint64(0)
+
 // Cache is a set-associative cache with configurable replacement.
 // It is a purely functional state model: timing (latency, ports, bus) is
 // imposed by the hierarchy and CPU models on top.
+//
+// Storage is a single flat Line slice (set-major) instead of a
+// slice-of-sets: one indirection fewer per access, and neighbouring ways
+// share cache lines of the HOST machine. The tag match itself scans a
+// dense parallel []uint64 — a Line is ~100 bytes, so probing Line.Tag
+// directly would touch one host cache line per way, while the dense
+// array packs 8 ways per host line. Lookup/tag-match is the simulator's
+// hottest operation (every demand access, duplicate squash, and
+// residency re-check lands here); see docs/PERFORMANCE.md.
 type Cache struct {
 	cfg      config.CacheConfig
-	sets     [][]Line
+	lines    []Line   // set-major: ways of set s at [s*assoc, (s+1)*assoc)
+	tags     []uint64 // tags[i] mirrors lines[i].Tag when valid, else invalidTag
+	assoc    int
 	setMask  uint64
 	offBits  uint
 	tick     uint64
@@ -100,16 +116,19 @@ func New(cfg config.CacheConfig, rng *xrand.Rand) (*Cache, error) {
 	if cfg.Replacement == config.ReplaceRandom && rng == nil {
 		return nil, fmt.Errorf("cache: random replacement requires a PRNG")
 	}
+	frames := cfg.Sets() * cfg.Assoc
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]Line, cfg.Sets()),
+		lines:   make([]Line, frames),
+		tags:    make([]uint64, frames),
+		assoc:   cfg.Assoc,
 		setMask: uint64(cfg.Sets() - 1),
 		offBits: log2(uint64(cfg.LineBytes)),
 		rng:     rng,
 		policy:  cfg.Replacement,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Assoc)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	if rng != nil {
 		c.replRand = func(ways int) int { return rng.Intn(ways) }
@@ -138,17 +157,29 @@ func (c *Cache) ByteAddr(lineAddr uint64) uint64 { return lineAddr << c.offBits 
 // setIndex maps a line address to its set.
 func (c *Cache) setIndex(lineAddr uint64) uint64 { return lineAddr & c.setMask }
 
+// find scans the dense tag array for lineAddr's frame and returns its
+// flat index, or -1. The tag array can only hold lineAddr at a frame
+// whose Line actually stores it (Insert/Invalidate/Flush keep the two in
+// lockstep), so no re-confirmation against the Line is needed.
+func (c *Cache) find(lineAddr uint64) int {
+	base := int(c.setIndex(lineAddr)) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == lineAddr {
+			return base + i
+		}
+	}
+	return -1
+}
+
 // Lookup finds the line, updating recency state on a hit. The returned
 // pointer stays valid until the line is evicted; callers mutate metadata
 // (RIB, dirty, shadow state) through it.
 func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].Valid && set[i].Tag == lineAddr {
-			c.tick++
-			set[i].lru = c.tick
-			return &set[i], true
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		c.tick++
+		c.lines[i].lru = c.tick
+		return &c.lines[i], true
 	}
 	return nil, false
 }
@@ -156,22 +187,19 @@ func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
 // Peek finds the line without disturbing replacement state. Used by
 // prefetch duplicate squashing and by tests.
 func (c *Cache) Peek(lineAddr uint64) (*Line, bool) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].Valid && set[i].Tag == lineAddr {
-			return &set[i], true
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		return &c.lines[i], true
 	}
 	return nil, false
 }
 
 // Contains reports whether the line is resident.
 func (c *Cache) Contains(lineAddr uint64) bool {
-	_, ok := c.Peek(lineAddr)
-	return ok
+	return c.find(lineAddr) >= 0
 }
 
-// victim selects the way to replace in set (which must be full).
+// victim selects the way to replace in set (a full set's window of the
+// flat line array).
 func (c *Cache) victim(set []Line) int {
 	switch c.policy {
 	case config.ReplaceRandom:
@@ -203,20 +231,21 @@ func (c *Cache) victim(set []Line) int {
 // Inserting a line that is already resident resets that line in place and
 // reports no eviction.
 func (c *Cache) Insert(lineAddr uint64) (installed *Line, evicted Line, hadEviction bool) {
-	si := c.setIndex(lineAddr)
-	set := c.sets[si]
+	base := int(c.setIndex(lineAddr)) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	tags := c.tags[base : base+c.assoc]
 	c.tick++
 
 	slot := -1
-	for i := range set {
-		if set[i].Valid && set[i].Tag == lineAddr {
+	for i, t := range tags {
+		if t == lineAddr {
 			slot = i
 			break
 		}
 	}
 	if slot < 0 {
-		for i := range set {
-			if !set[i].Valid {
+		for i, t := range tags {
+			if t == invalidTag {
 				slot = i
 				break
 			}
@@ -232,6 +261,7 @@ func (c *Cache) Insert(lineAddr uint64) (installed *Line, evicted Line, hadEvict
 		}
 	}
 	set[slot] = Line{Valid: true, Tag: lineAddr, lru: c.tick, fifo: c.tick}
+	tags[slot] = lineAddr
 	return &set[slot], evicted, hadEviction
 }
 
@@ -241,9 +271,10 @@ func (c *Cache) Insert(lineAddr uint64) (installed *Line, evicted Line, hadEvict
 // the random policy the preview uses the LRU victim — previews must be
 // side-effect free, and the caller only needs a representative occupant.
 func (c *Cache) PeekVictim(lineAddr uint64) (*Line, bool) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if !set[i].Valid || set[i].Tag == lineAddr {
+	base := int(c.setIndex(lineAddr)) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	for _, t := range c.tags[base : base+c.assoc] {
+		if t == invalidTag || t == lineAddr {
 			return nil, false
 		}
 	}
@@ -268,13 +299,11 @@ func (c *Cache) PeekVictim(lineAddr uint64) (*Line, bool) {
 // Invalidate removes a line if resident, returning its final state so the
 // caller can process writeback/feedback.
 func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].Valid && set[i].Tag == lineAddr {
-			old := set[i]
-			set[i] = Line{}
-			return old, true
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		old := c.lines[i]
+		c.lines[i] = Line{}
+		c.tags[i] = invalidTag
+		return old, true
 	}
 	return Line{}, false
 }
@@ -283,12 +312,9 @@ func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
 // still-resident prefetched lines and by invariants in tests. The visit
 // order is deterministic (set-major, way-minor).
 func (c *Cache) ForEach(fn func(*Line)) {
-	for si := range c.sets {
-		set := c.sets[si]
-		for wi := range set {
-			if set[wi].Valid {
-				fn(&set[wi])
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
 		}
 	}
 }
@@ -339,14 +365,12 @@ func (c *Cache) DumpMetrics(reg *metrics.Registry, prefix string) {
 // Flush invalidates everything, returning the number of dirty lines that
 // would have been written back.
 func (c *Cache) Flush() (writebacks int) {
-	for si := range c.sets {
-		set := c.sets[si]
-		for wi := range set {
-			if set[wi].Valid && set[wi].Dirty {
-				writebacks++
-			}
-			set[wi] = Line{}
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].Dirty {
+			writebacks++
 		}
+		c.lines[i] = Line{}
+		c.tags[i] = invalidTag
 	}
 	return writebacks
 }

@@ -87,8 +87,19 @@ type CPU struct {
 	branch *predictor.Unit
 
 	rob     []robEntry
+	robMask uint64 // len(rob)-1 when the ROB size is a power of two, else 0
+	robLen  uint64
 	robHead uint64 // sequence number of the oldest in-flight instruction
 	robTail uint64 // sequence number the next dispatched instruction gets
+
+	// issueFrom is the lowest sequence number that may still hold an
+	// unissued memory op; entries below it are issued, non-memory, or
+	// retired, and none of those states ever reverts. pendingMem counts
+	// dispatched-but-unissued memory ops. Together they let the per-cycle
+	// issue stage touch only the ROB window that can actually issue,
+	// instead of scanning head..tail every cycle.
+	issueFrom  uint64
+	pendingMem int
 
 	lsqCount int
 
@@ -120,7 +131,14 @@ func New(cfg config.CPUConfig, h *hier.Hierarchy) (*CPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CPU{cfg: cfg, h: h, branch: bu, rob: make([]robEntry, cfg.ROBEntries)}, nil
+	c := &CPU{cfg: cfg, h: h, branch: bu, rob: make([]robEntry, cfg.ROBEntries), robLen: uint64(cfg.ROBEntries)}
+	if n := uint64(cfg.ROBEntries); n&(n-1) == 0 {
+		// Power-of-two ROB (the Table 1 machine): slot() becomes a mask
+		// instead of an integer division, which profiles as ~30% of the
+		// whole cycle loop otherwise.
+		c.robMask = n - 1
+	}
+	return c, nil
 }
 
 // Branch exposes the branch unit (stats, tests).
@@ -153,7 +171,12 @@ func (c *CPU) dumpMetrics() {
 	set("mshr_stall_cycles", c.res.MSHRStallCycles)
 }
 
-func (c *CPU) slot(seq uint64) *robEntry { return &c.rob[seq%uint64(len(c.rob))] }
+func (c *CPU) slot(seq uint64) *robEntry {
+	if c.robMask != 0 {
+		return &c.rob[seq&c.robMask]
+	}
+	return &c.rob[seq%c.robLen]
+}
 
 func (c *CPU) robFull() bool { return c.robTail-c.robHead >= uint64(len(c.rob)) }
 
@@ -227,6 +250,13 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 		return c.robEmpty()
 	}
 
+	// Run-constant machine parameters, hoisted out of the cycle loop
+	// (Config() returns the whole config by value — copying it per cycle
+	// shows up in profiles).
+	ports := c.h.Config().L1.Ports
+	l1lat := uint64(c.h.Config().L1.LatencyCycles)
+	mshrs := c.cfg.MSHRs
+
 	for !done() {
 		cycle++
 		c.h.Tick(cycle)
@@ -295,9 +325,11 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 					}
 				case isa.OpLoad:
 					c.lsqCount++
+					c.pendingMem++
 					c.res.Loads++
 				case isa.OpStore:
 					c.lsqCount++
+					c.pendingMem++
 					e.isStore = true
 					c.res.Stores++
 				case isa.OpPrefetch:
@@ -312,9 +344,7 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 		}
 
 		// --- Issue memory ops to the L1, oldest first, bounded by ports ---
-		ports := c.h.Config().L1.Ports
-		mshrs := c.cfg.MSHRs
-		if mshrs > 0 {
+		if mshrs > 0 && len(c.outstanding) > 0 {
 			// Retire completed misses from the MSHR file.
 			live := c.outstanding[:0]
 			for _, done := range c.outstanding {
@@ -327,40 +357,54 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 		used := 0
 		blocked := false
 		mshrBlocked := false
-		l1lat := uint64(c.h.Config().L1.LatencyCycles)
-		for seq := c.robHead; seq < c.robTail; seq++ {
-			e := c.slot(seq)
-			if e.readyAt != notReady || e.issued {
-				continue
+		if c.pendingMem > 0 {
+			// Skip the prefix of the window that can never issue again:
+			// issued memory ops and non-memory entries stay that way until
+			// retirement, so issueFrom only ever moves forward.
+			if c.issueFrom < c.robHead {
+				c.issueFrom = c.robHead
 			}
-			if e.op != isa.OpLoad && e.op != isa.OpStore {
-				continue
+			for c.issueFrom < c.robTail {
+				e := c.slot(c.issueFrom)
+				if !e.issued && (e.op == isa.OpLoad || e.op == isa.OpStore) {
+					break
+				}
+				c.issueFrom++
 			}
-			if !c.depSatisfied(seq, cycle) {
-				continue
-			}
-			if used >= ports {
-				blocked = true
-				break
-			}
-			if mshrs > 0 && e.op == isa.OpLoad && len(c.outstanding) >= mshrs {
-				// No free miss-status register: a potential miss cannot
-				// issue; hits cannot be distinguished before tag access,
-				// so the load waits.
-				mshrBlocked = true
-				continue
-			}
-			used++
-			e.issued = true
-			doneAt := c.h.DemandAccess(cycle, e.pc, e.addr, e.isStore)
-			if e.isStore {
-				// Stores drain through a store buffer: they do not hold up
-				// retirement once issued.
-				e.readyAt = cycle + 1
-			} else {
-				e.readyAt = doneAt
-				if mshrs > 0 && doneAt > cycle+l1lat {
-					c.outstanding = append(c.outstanding, doneAt)
+			remaining := c.pendingMem
+			for seq := c.issueFrom; seq < c.robTail && remaining > 0; seq++ {
+				e := c.slot(seq)
+				if e.issued || (e.op != isa.OpLoad && e.op != isa.OpStore) {
+					continue
+				}
+				remaining--
+				if !c.depSatisfied(seq, cycle) {
+					continue
+				}
+				if used >= ports {
+					blocked = true
+					break
+				}
+				if mshrs > 0 && e.op == isa.OpLoad && len(c.outstanding) >= mshrs {
+					// No free miss-status register: a potential miss cannot
+					// issue; hits cannot be distinguished before tag access,
+					// so the load waits.
+					mshrBlocked = true
+					continue
+				}
+				used++
+				e.issued = true
+				c.pendingMem--
+				doneAt := c.h.DemandAccess(cycle, e.pc, e.addr, e.isStore)
+				if e.isStore {
+					// Stores drain through a store buffer: they do not hold up
+					// retirement once issued.
+					e.readyAt = cycle + 1
+				} else {
+					e.readyAt = doneAt
+					if mshrs > 0 && doneAt > cycle+l1lat {
+						c.outstanding = append(c.outstanding, doneAt)
+					}
 				}
 			}
 		}

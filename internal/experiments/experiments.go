@@ -10,12 +10,15 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -57,33 +60,69 @@ func (p *Params) benchmarks() []string {
 	return workload.PaperNames()
 }
 
-// cacheKey identifies one memoizable simulation.
+// cacheKey identifies one memoizable simulation. Every field that can
+// change the result is in the key EXPLICITLY — benchmark, instruction
+// budget, warmup, and seed — ahead of the full canonical config encoding.
+// The seed and budget segments are deliberately redundant with the config
+// JSON: the key must stay collision-free even for a caller that builds a
+// config without stamping p.Seed into it first (the bug class this
+// construction closes; see TestCacheKeyIncludesSeedAndBudget).
 func (p *Params) cacheKey(bench string, cfg config.Config) string {
-	return fmt.Sprintf("%s|%d|%d|%s", bench, p.Instructions, p.Warmup, cfg.String())
+	cfg.Seed = p.Seed
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// config.Config is plain data; Marshal cannot fail in practice.
+		b = []byte(fmt.Sprintf("marshal-error:%v", err))
+	}
+	return fmt.Sprintf("%s|n=%d|w=%d|seed=%d|%s", bench, p.Instructions, p.Warmup, p.Seed, b)
 }
 
-// run executes (and memoizes) one simulation. It is safe for concurrent
-// use; two goroutines racing on the same key may both simulate, and the
-// identical deterministic result is stored once.
+// runMemo single-flights concurrent simulations of the same key across
+// the whole process: keys are fully qualified (benchmark, budget, seed,
+// canonical config), so sharing results between Params instances is
+// sound — the simulator is deterministic. The bound only limits how many
+// completed results are retained for cross-Params reuse; the persistent
+// per-Params store is p.cache.
+var runMemo = sched.NewMemo[stats.Run](1024)
+
+// run executes (and memoizes) one simulation.
 func (p *Params) run(bench string, cfg config.Config) (stats.Run, error) {
+	return p.runCtx(context.Background(), bench, cfg)
+}
+
+// runCtx is run with cancellation: the context is honoured between cache
+// probe and simulation start (simulations themselves are short and run to
+// completion once started). It is safe for concurrent use; goroutines
+// racing on the same key single-flight through runMemo, so every distinct
+// (benchmark, config, seed, budget) simulates exactly once per process.
+func (p *Params) runCtx(ctx context.Context, bench string, cfg config.Config) (stats.Run, error) {
 	cfg.Seed = p.Seed
 	key := p.cacheKey(bench, cfg)
 	if r, ok := p.cachedRun(key); ok {
 		p.Metrics.Counter("experiments.cache.hits").Inc()
 		return r, nil
 	}
-	p.Metrics.Counter("experiments.cache.misses").Inc()
-	start := time.Now()
-	r, err := sim.Run(sim.Options{
-		Benchmark:       bench,
-		Config:          cfg,
-		MaxInstructions: p.Instructions,
-		Warmup:          p.Warmup,
+	if err := ctx.Err(); err != nil {
+		return stats.Run{}, err
+	}
+	r, err := runMemo.Do(ctx, key, func(context.Context) (stats.Run, error) {
+		p.Metrics.Counter("experiments.cache.misses").Inc()
+		start := time.Now()
+		r, err := sim.Run(sim.Options{
+			Benchmark:       bench,
+			Config:          cfg,
+			MaxInstructions: p.Instructions,
+			Warmup:          p.Warmup,
+		})
+		if err != nil {
+			return stats.Run{}, fmt.Errorf("experiments: %s: %w", bench, err)
+		}
+		p.Metrics.Histogram("experiments.sim.wall_ns." + bench).Observe(uint64(time.Since(start)))
+		return r, nil
 	})
 	if err != nil {
-		return stats.Run{}, fmt.Errorf("experiments: %s: %w", bench, err)
+		return stats.Run{}, err
 	}
-	p.Metrics.Histogram("experiments.sim.wall_ns." + bench).Observe(uint64(time.Since(start)))
 	p.storeRun(key, r)
 	return r, nil
 }

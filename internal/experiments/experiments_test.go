@@ -234,3 +234,43 @@ func TestEveryExperimentRunsSmall(t *testing.T) {
 		})
 	}
 }
+
+// TestCacheKeyIncludesSeedAndBudget pins the memo-cache key's contract:
+// two Params that differ only in seed, instruction budget, or warmup
+// must never share a cache entry, and the key must not depend on a
+// caller having remembered to stamp Params.Seed into the Config (the
+// key stamps it itself). Regression test for a bug where a Config
+// carrying a stale Seed could alias runs across seeds.
+func TestCacheKeyIncludesSeedAndBudget(t *testing.T) {
+	base := Params{Instructions: 1000, Warmup: 100, Seed: 1}
+	cfg := config.Default()
+
+	variants := map[string]Params{
+		"seed":         {Instructions: 1000, Warmup: 100, Seed: 2},
+		"instructions": {Instructions: 2000, Warmup: 100, Seed: 1},
+		"warmup":       {Instructions: 1000, Warmup: 200, Seed: 1},
+	}
+	baseKey := base.cacheKey("mcf", cfg)
+	for name, p := range variants {
+		if got := p.cacheKey("mcf", cfg); got == baseKey {
+			t.Errorf("cache key ignores %s: %q", name, got)
+		}
+	}
+
+	// The key must override any seed already present in the Config with
+	// the Params seed, so a stale cfg.Seed cannot alias across seeds.
+	stale := cfg
+	stale.Seed = 999
+	if base.cacheKey("mcf", stale) != base.cacheKey("mcf", cfg) {
+		t.Error("cache key depends on caller-stamped cfg.Seed instead of Params.Seed")
+	}
+
+	// Distinct configs (e.g. different filters) must yield distinct keys.
+	if base.cacheKey("mcf", cfg.WithFilter(config.FilterPC)) == baseKey {
+		t.Error("cache key ignores the filter configuration")
+	}
+	// And distinct benchmarks must, too.
+	if base.cacheKey("gzip", cfg) == baseKey {
+		t.Error("cache key ignores the benchmark name")
+	}
+}

@@ -1,24 +1,28 @@
 // Parallel pre-warming of the experiment cache.
 //
-// Every simulation is deterministic and independent, so the harness can
-// run them concurrently and let the experiments read memoized results.
+// Every simulation is deterministic and independent, so the harness runs
+// them concurrently and lets the experiments read memoized results.
 // Prewarm enumerates the standard evaluation matrix — every (benchmark,
 // config) pair the paper-figure experiments will request — and fills the
-// cache with a bounded worker pool, following the fixed-worker-pool idiom
-// (share memory by communicating: jobs flow down a channel, results are
-// installed under the cache lock).
+// cache through internal/sched's work-stealing pool: jobs are ordered
+// longest-first by the per-benchmark wall-time histograms the harness
+// records under "experiments.sim.wall_ns.<bench>", dealt into per-worker
+// deques, and rebalanced by stealing. Results land in the cache under
+// the cache lock; determinism of the final cache state is independent of
+// worker count and steal order (see TestPrewarmParallelDeterminism).
 package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -93,62 +97,90 @@ func (p *Params) standardMatrix() []workItem {
 	return items
 }
 
+// costModel builds the longest-runs-first estimator for the scheduler
+// from whatever per-benchmark wall-time history the registry holds. With
+// no registry (or no history yet) every job costs the same and sharding
+// falls back to deterministic key order.
+func (p *Params) costModel() sched.CostModel {
+	return sched.CostFromSnapshot(p.Metrics.Snapshot(), "experiments.sim.wall_ns.", 1)
+}
+
 // Prewarm runs the standard matrix concurrently with the given number of
-// workers (<=0 selects GOMAXPROCS) and fills the cache. Every failure is
-// collected and returned joined (errors.Join), sorted by message so the
-// report is deterministic regardless of worker scheduling; the cache
-// keeps whatever completed successfully.
+// workers (<=0 selects GOMAXPROCS) and fills the cache. See PrewarmCtx.
 func (p *Params) Prewarm(workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return p.PrewarmCtx(context.Background(), workers)
+}
+
+// PrewarmCtx is Prewarm with cancellation: when ctx expires, queued
+// simulations are abandoned (the cache keeps whatever completed) and the
+// context error is reported alongside any simulation failures. Every
+// failure is collected and returned joined (errors.Join), sorted by
+// message so the report is deterministic regardless of steal order.
+func (p *Params) PrewarmCtx(ctx context.Context, workers int) error {
 	start := time.Now()
 	items := p.standardMatrix()
 
-	// Deduplicate by cache key so each simulation runs exactly once.
+	// Deduplicate by cache key so each simulation is scheduled exactly
+	// once (sched single-flights duplicate keys anyway; deduplicating
+	// here keeps the job count honest for telemetry).
 	seen := make(map[string]workItem, len(items))
+	order := make([]string, 0, len(items))
 	for _, it := range items {
-		cfg := it.cfg
-		cfg.Seed = p.Seed
-		key := p.cacheKey(it.bench, cfg)
+		key := p.cacheKey(it.bench, it.cfg)
 		if _, dup := seen[key]; !dup {
 			if _, hit := p.cachedRun(key); !hit {
 				seen[key] = it
+				order = append(order, key)
 			}
 		}
 	}
 
-	jobs := make(chan workItem)
-	var (
-		errMu sync.Mutex
-		errs  []error
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := range jobs {
-				if _, err := p.run(it.bench, it.cfg); err != nil {
-					errMu.Lock()
-					errs = append(errs, err)
-					errMu.Unlock()
-				}
-			}
-		}()
+	cost := p.costModel()
+	jobs := make([]sched.Job, 0, len(seen))
+	for _, key := range order {
+		it := seen[key]
+		jobs = append(jobs, sched.Job{
+			Key:  key,
+			Cost: cost(it.bench),
+			Run: func(ctx context.Context) (any, error) {
+				_, err := p.runCtx(ctx, it.bench, it.cfg)
+				return nil, err
+			},
+		})
 	}
-	for _, it := range seen {
-		jobs <- it
+
+	results, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: workers, Metrics: p.Metrics})
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
 	}
-	close(jobs)
-	wg.Wait()
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 
 	p.Metrics.Counter("experiments.prewarm.sims").Add(uint64(len(seen)))
 	p.Metrics.Counter("experiments.prewarm.errors").Add(uint64(len(errs)))
 	p.Metrics.Histogram("experiments.prewarm.wall_ns").Observe(uint64(time.Since(start)))
 
-	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-	return errors.Join(errs...)
+	if ctxErr != nil {
+		// Deduplicate: unstarted jobs already report the context error.
+		errs = append(errs, ctxErr)
+	}
+	return dedupJoin(errs)
+}
+
+// dedupJoin joins errors with consecutive duplicates collapsed (the
+// cancellation sweep stamps every unstarted job with the same ctx error).
+func dedupJoin(errs []error) error {
+	out := errs[:0]
+	for i, e := range errs {
+		if i > 0 && e.Error() == errs[i-1].Error() {
+			continue
+		}
+		out = append(out, e)
+	}
+	return errors.Join(out...)
 }
 
 // Fingerprint serializes every cached run in sorted key order — a

@@ -1,0 +1,159 @@
+// The bounded single-flight result memo. The experiment harness layers
+// it in front of its persistent run cache so that concurrent experiments
+// — or racing Prewarm workers — never execute the same (benchmark,
+// config, seed) simulation twice: the first caller computes, everyone
+// else waits for (and shares) that result.
+
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// memoEntry is one in-flight or completed computation.
+type memoEntry[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+	seq  uint64 // recency stamp for bounded eviction
+}
+
+// Memo is a bounded, single-flight memoization cache. The zero value is
+// not usable; call NewMemo. All methods are safe for concurrent use.
+//
+// Completed successful results are retained up to the bound and evicted
+// least-recently-used beyond it; errors are never cached, so a failed
+// key can be retried. In-flight entries are exempt from eviction — the
+// bound applies to completed results only.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	max     int
+	seq     uint64
+	entries map[string]*memoEntry[V]
+}
+
+// NewMemo builds a memo retaining up to max completed results; max <= 0
+// disables retention (pure in-flight deduplication).
+func NewMemo[V any](max int) *Memo[V] {
+	if max < 0 {
+		max = 0
+	}
+	return &Memo[V]{max: max, entries: make(map[string]*memoEntry[V])}
+}
+
+// Len reports the number of resident entries (in-flight + completed).
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Do returns the memoized result for key, computing it with fn exactly
+// once no matter how many goroutines ask concurrently. Callers that find
+// the computation already in flight wait for it; a waiter whose ctx is
+// cancelled gives up with ctx.Err() while the computation itself keeps
+// running under the owner's ctx.
+func (m *Memo[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		e.seq = m.nextSeq()
+		m.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	e := &memoEntry[V]{done: make(chan struct{}), seq: m.nextSeq()}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	e.val, e.err = fn(ctx)
+	close(e.done)
+
+	m.mu.Lock()
+	if e.err != nil {
+		// Never cache failures: a retry must recompute. Guard against the
+		// slot having been replaced (possible once we deleted and another
+		// goroutine re-inserted — it cannot happen before this point, but
+		// the check is cheap and keeps the invariant local).
+		if m.entries[key] == e {
+			delete(m.entries, key)
+		}
+	} else {
+		m.evictLocked()
+	}
+	m.mu.Unlock()
+	return e.val, e.err
+}
+
+// Get returns the completed result cached under key, if any. In-flight
+// entries report absent (Get never blocks).
+func (m *Memo[V]) Get(key string) (V, bool) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	m.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			var zero V
+			return zero, false
+		}
+		return e.val, true
+	default:
+		var zero V
+		return zero, false
+	}
+}
+
+// nextSeq must be called with mu held.
+func (m *Memo[V]) nextSeq() uint64 { m.seq++; return m.seq }
+
+// evictLocked drops least-recently-used COMPLETED entries until the
+// retention bound holds. In-flight entries don't count against the bound
+// and are never evicted. A linear scan per eviction is fine at this
+// cache's scale (hundreds of entries, evictions rare).
+func (m *Memo[V]) evictLocked() {
+	if m.max <= 0 {
+		for k, e := range m.entries {
+			if completed(e.done) {
+				delete(m.entries, k)
+			}
+		}
+		return
+	}
+	for {
+		completedCount := 0
+		oldestKey := ""
+		var oldestSeq uint64
+		for k, e := range m.entries {
+			if !completed(e.done) {
+				continue
+			}
+			completedCount++
+			if oldestKey == "" || e.seq < oldestSeq {
+				oldestKey, oldestSeq = k, e.seq
+			}
+		}
+		if completedCount <= m.max {
+			return
+		}
+		delete(m.entries, oldestKey)
+	}
+}
+
+func completed(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

@@ -22,8 +22,10 @@ func smallParams() experiments.Params {
 }
 
 // TestPrewarmParallelDeterminism runs the standard matrix serially and
-// with 8 workers and requires byte-identical fingerprints: the worker
-// pool must not change any simulation result, only the wall time.
+// with 4 and 8 work-stealing workers and requires byte-identical
+// fingerprints at every width: the worker pool (and whatever steal
+// interleaving it happens to produce) must not change any simulation
+// result, only the wall time.
 func TestPrewarmParallelDeterminism(t *testing.T) {
 	serial := smallParams()
 	if err := serial.Prewarm(1); err != nil {
@@ -34,19 +36,22 @@ func TestPrewarmParallelDeterminism(t *testing.T) {
 		t.Fatal("serial Prewarm produced an empty fingerprint")
 	}
 
-	par := smallParams()
-	if err := par.Prewarm(8); err != nil {
-		t.Fatal(err)
-	}
-	got := par.Fingerprint()
+	for _, workers := range []int{4, 8} {
+		par := smallParams()
+		if err := par.Prewarm(workers); err != nil {
+			t.Fatal(err)
+		}
+		got := par.Fingerprint()
 
-	if par.CachedRuns() != serial.CachedRuns() {
-		t.Fatalf("cached runs differ: parallel %d, serial %d", par.CachedRuns(), serial.CachedRuns())
-	}
-	if !bytes.Equal(got, want) {
-		d := firstDiff(got, want)
-		t.Fatalf("parallel fingerprint diverges from serial at byte %d:\nparallel: %s\nserial:   %s",
-			d, excerpt(got, d), excerpt(want, d))
+		if par.CachedRuns() != serial.CachedRuns() {
+			t.Fatalf("workers=%d: cached runs differ: parallel %d, serial %d",
+				workers, par.CachedRuns(), serial.CachedRuns())
+		}
+		if !bytes.Equal(got, want) {
+			d := firstDiff(got, want)
+			t.Fatalf("workers=%d: parallel fingerprint diverges from serial at byte %d:\nparallel: %s\nserial:   %s",
+				workers, d, excerpt(got, d), excerpt(want, d))
+		}
 	}
 }
 
