@@ -1,0 +1,93 @@
+// Command pfserved serves simulations over HTTP: the experiment harness
+// as a daemon, batched on the work-stealing scheduler and cached behind
+// the process-wide single-flight memo. See docs/SERVING.md for the API.
+//
+// Usage:
+//
+//	pfserved                          # listen on :8077
+//	pfserved -addr :9000 -workers 8   # custom port, 8 sim workers
+//	pfserved -queue 128 -max-concurrent 4
+//
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /metrics, GET /healthz.
+// SIGTERM/SIGINT drains gracefully: stop accepting, finish in-flight,
+// then exit (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8077", "listen address")
+		workers      = flag.Int("workers", 0, "scheduler workers per executing batch (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth; beyond it requests get 429")
+		maxConc      = flag.Int("max-concurrent", 2, "concurrently executing request batches")
+		maxSweep     = flag.Int("max-sweep", 4096, "largest accepted sweep matrix (deduplicated jobs)")
+		maxInstr     = flag.Int64("max-instructions", 50_000_000, "per-request instruction budget cap")
+		defInstr     = flag.Int64("n", 2_000_000, "default measured instructions per run")
+		defWarmup    = flag.Int64("warmup", 1_000_000, "default warmup instructions per run")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "default per-request deadline")
+		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "largest per-request deadline a client may ask for")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		MaxConcurrent:       *maxConc,
+		MaxSweepJobs:        *maxSweep,
+		MaxInstructions:     *maxInstr,
+		DefaultInstructions: *defInstr,
+		DefaultWarmup:       *defWarmup,
+		DefaultDeadline:     *deadline,
+		MaxDeadline:         *maxDeadline,
+		RetryAfter:          *retryAfter,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := <-sigc
+		log.Printf("pfserved: %v: draining (timeout %s)", sig, *drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Shutdown stops the listeners and waits for in-flight handlers.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("pfserved: shutdown: %v", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("pfserved: %v", err)
+		}
+	}()
+
+	log.Printf("pfserved: listening on %s (queue %d, %d concurrent batches)", *addr, *queue, *maxConc)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pfserved: %v\n", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+	log.Printf("pfserved: drained, exiting")
+}

@@ -105,7 +105,9 @@ func (p *Params) runCtx(ctx context.Context, bench string, cfg config.Config) (s
 	if err := ctx.Err(); err != nil {
 		return stats.Run{}, err
 	}
+	computed := false
 	r, err := runMemo.Do(ctx, key, func(context.Context) (stats.Run, error) {
+		computed = true
 		p.Metrics.Counter("experiments.cache.misses").Inc()
 		start := time.Now()
 		r, err := sim.Run(sim.Options{
@@ -122,6 +124,11 @@ func (p *Params) runCtx(ctx context.Context, bench string, cfg config.Config) (s
 	})
 	if err != nil {
 		return stats.Run{}, err
+	}
+	if !computed {
+		// Another caller's simulation served this key — the cross-request
+		// single-flight hit the service layer exposes in /metrics.
+		p.Metrics.Counter("experiments.cache.shared").Inc()
 	}
 	p.storeRun(key, r)
 	return r, nil

@@ -157,27 +157,32 @@ func (p *Params) PrewarmCtx(ctx context.Context, workers int) error {
 			errs = append(errs, r.Err)
 		}
 	}
-	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 
 	p.Metrics.Counter("experiments.prewarm.sims").Add(uint64(len(seen)))
 	p.Metrics.Counter("experiments.prewarm.errors").Add(uint64(len(errs)))
 	p.Metrics.Histogram("experiments.prewarm.wall_ns").Observe(uint64(time.Since(start)))
 
 	if ctxErr != nil {
-		// Deduplicate: unstarted jobs already report the context error.
+		// Unstarted jobs already report the context error; append it
+		// BEFORE sorting so dedupJoin sees the copies together no matter
+		// what other failure messages sort between them.
 		errs = append(errs, ctxErr)
 	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 	return dedupJoin(errs)
 }
 
-// dedupJoin joins errors with consecutive duplicates collapsed (the
-// cancellation sweep stamps every unstarted job with the same ctx error).
+// dedupJoin joins errors with duplicate messages collapsed globally (the
+// cancellation sweep stamps every unstarted job with the same ctx error,
+// and those copies need not sort adjacent to the appended original).
 func dedupJoin(errs []error) error {
+	seen := make(map[string]bool, len(errs))
 	out := errs[:0]
-	for i, e := range errs {
-		if i > 0 && e.Error() == errs[i-1].Error() {
+	for _, e := range errs {
+		if seen[e.Error()] {
 			continue
 		}
+		seen[e.Error()] = true
 		out = append(out, e)
 	}
 	return errors.Join(out...)

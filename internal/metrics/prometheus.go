@@ -1,0 +1,102 @@
+// Prometheus text exposition (format version 0.0.4) of a Snapshot, so a
+// registry can back an HTTP /metrics endpoint without importing any
+// client library. Dotted names are sanitized to the Prometheus charset
+// ("sim.pf.good" -> "sim_pf_good"); the power-of-two histogram buckets
+// render as cumulative le-labelled buckets whose upper bounds are the
+// largest value each bucket can hold (2^i - 1).
+
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promName maps a dotted metric name onto the Prometheus identifier
+// charset [a-zA-Z0-9_:], with a leading underscore if the name would
+// otherwise start with a digit.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// bucketBound is the largest value bucket i can hold: bucket 0 counts
+// zeros, bucket i counts [2^(i-1), 2^i). (1<<i)-1 covers every i,
+// including i==64 where the shift wraps to 0 and the subtraction yields
+// MaxUint64.
+func bucketBound(i int) uint64 {
+	return (uint64(1) << uint(i)) - 1
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format: counters as counter families, histograms as histogram families
+// with cumulative buckets, _sum, and _count. Output is sorted by name,
+// so two snapshots of the same registry diff cleanly.
+func (s Snapshot) WritePrometheus(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+
+	cnames := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		pn := promName(name)
+		if err := emit("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return total, err
+		}
+	}
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		hv := s.Histograms[name]
+		pn := promName(name)
+		if err := emit("# TYPE %s histogram\n", pn); err != nil {
+			return total, err
+		}
+		exps := make([]int, 0, len(hv.Buckets))
+		for i := range hv.Buckets {
+			exps = append(exps, i)
+		}
+		sort.Ints(exps)
+		var cum uint64
+		for _, i := range exps {
+			cum += hv.Buckets[i]
+			if err := emit("%s_bucket{le=\"%s\"} %d\n", pn, strconv.FormatUint(bucketBound(i), 10), cum); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n", pn, hv.Count, pn, hv.Sum, pn, hv.Count); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

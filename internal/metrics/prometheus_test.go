@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.pf.good":             "sim_pf_good",
+		"experiments.cache.hits":  "experiments_cache_hits",
+		"already_fine:name":       "already_fine:name",
+		"8wide":                   "_8wide",
+		"":                        "_",
+		"weird-name with spaces!": "weird_name_with_spaces_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	// Bucket i holds values v with bits.Len64(v) == i; the bound must be
+	// the largest such value.
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: ^uint64(0)}
+	for i, want := range cases {
+		if got := bucketBound(i); got != want {
+			t.Errorf("bucketBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("server.run.requests").Add(3)
+	h := r.Histogram("sched.job_wall_ns")
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(5) // bucket 3 ([4,8))
+
+	var buf bytes.Buffer
+	n, err := r.Snapshot().WritePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if int64(len(out)) != n {
+		t.Fatalf("reported %d bytes, wrote %d", n, len(out))
+	}
+	for _, want := range []string{
+		"# TYPE server_run_requests counter\nserver_run_requests 3\n",
+		"# TYPE sched_job_wall_ns histogram\n",
+		"sched_job_wall_ns_bucket{le=\"0\"} 1\n",
+		"sched_job_wall_ns_bucket{le=\"1\"} 2\n",
+		"sched_job_wall_ns_bucket{le=\"7\"} 3\n",
+		"sched_job_wall_ns_bucket{le=\"+Inf\"} 3\n",
+		"sched_job_wall_ns_sum 6\n",
+		"sched_job_wall_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if _, err := r.Snapshot().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := (Snapshot{}).WritePrometheus(&buf)
+	if err != nil || n != 0 || buf.Len() != 0 {
+		t.Fatalf("empty snapshot: n=%d err=%v out=%q", n, err, buf.String())
+	}
+}

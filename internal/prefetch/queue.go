@@ -111,6 +111,7 @@ func (q *Queue) Dequeue() (QueuedCandidate, bool) {
 	}
 	c := q.buf[q.head]
 	q.buf[q.head] = QueuedCandidate{}
+	q.addrs[q.head] = 0 // keep the mirror in lockstep: no ghost line addresses
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
 	q.Dequeued++

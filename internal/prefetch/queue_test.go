@@ -5,6 +5,63 @@ import (
 	"testing/quick"
 )
 
+// checkMirror asserts the documented invariant addrs[i] == buf[i].LineAddr
+// for occupied slots, and that vacated slots are fully zeroed in both
+// arrays (tests use nonzero line addresses so 0 marks "empty").
+func checkMirror(t *testing.T, q *Queue) {
+	t.Helper()
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if q.addrs[idx] != q.buf[idx].LineAddr {
+			t.Fatalf("mirror diverged at slot %d: addrs=%#x buf=%#x", idx, q.addrs[idx], q.buf[idx].LineAddr)
+		}
+	}
+	for i := q.count; i < len(q.buf); i++ {
+		idx := (q.head + i) % len(q.buf)
+		if q.addrs[idx] != 0 {
+			t.Fatalf("ghost address %#x in vacated slot %d", q.addrs[idx], idx)
+		}
+		if q.buf[idx] != (QueuedCandidate{}) {
+			t.Fatalf("stale candidate %+v in vacated slot %d", q.buf[idx], idx)
+		}
+	}
+}
+
+// TestQueueMirrorInvariantWraparound walks the ring through several full
+// wraparounds with interleaved enqueues and dequeues, checking the mirror
+// after every operation. Regression for Dequeue leaving addrs[head] set.
+func TestQueueMirrorInvariantWraparound(t *testing.T) {
+	q, _ := NewQueue(4)
+	next := uint64(1)
+	for round := 0; round < 6; round++ {
+		// Fill to capacity, then drain below half, so head/tail cross the
+		// array boundary at different offsets each round.
+		for q.Len() < q.Cap() {
+			if !q.Enqueue(Candidate{LineAddr: next, TriggerPC: next << 4}, next) {
+				t.Fatalf("enqueue %#x failed", next)
+			}
+			next++
+			checkMirror(t, q)
+		}
+		for q.Len() > 1 {
+			before, _ := q.Front()
+			c, ok := q.Dequeue()
+			if !ok || c != before {
+				t.Fatalf("dequeue = %+v ok=%v, front was %+v", c, ok, before)
+			}
+			checkMirror(t, q)
+		}
+	}
+	// Drain the remainder: an empty ring must hold no ghosts at all.
+	q.Drain()
+	checkMirror(t, q)
+	for i, a := range q.addrs {
+		if a != 0 {
+			t.Fatalf("drained queue still mirrors %#x at slot %d", a, i)
+		}
+	}
+}
+
 func TestQueueValidation(t *testing.T) {
 	if _, err := NewQueue(0); err == nil {
 		t.Fatal("zero capacity should fail")

@@ -84,6 +84,12 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func(context.Context) (
 			delete(m.entries, key)
 		}
 	} else {
+		// Refresh recency before evicting: the entry still carries its
+		// insert-time stamp, which is stale by however long the
+		// computation ran — without this a slow computation is the LRU
+		// victim the instant it completes if anything was touched
+		// meanwhile.
+		e.seq = m.nextSeq()
 		m.evictLocked()
 	}
 	m.mu.Unlock()

@@ -278,6 +278,44 @@ func TestMemoBound(t *testing.T) {
 	}
 }
 
+func TestMemoSlowCompletionSurvivesNewerInserts(t *testing.T) {
+	// Regression: the LRU stamp used to be assigned only at insert, so a
+	// long-running computation finished holding the oldest seq in the
+	// cache and was the eviction victim the moment it completed. The
+	// stamp must be refreshed on successful completion.
+	m := NewMemo[int](2)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := m.Do(context.Background(), "slow", func(context.Context) (int, error) {
+			<-release
+			return 42, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Wait for the slow computation to be in flight.
+	for m.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// A burst of newer inserts, every one outranking slow's insert stamp.
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("fast%d", i)
+		if _, err := m.Do(context.Background(), k, func(context.Context) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	<-done
+	if v, ok := m.Get("slow"); !ok || v != 42 {
+		t.Fatalf("slow computation evicted on completion: v=%d ok=%v", v, ok)
+	}
+	if n := m.Len(); n > 2 { // bound still holds once everything completed
+		t.Fatalf("memo holds %d entries, bound is 2", n)
+	}
+}
+
 func TestMemoWaiterCancellation(t *testing.T) {
 	m := NewMemo[int](4)
 	release := make(chan struct{})

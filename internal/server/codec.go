@@ -1,0 +1,217 @@
+// Request/response codec for the simulation service: JSON shapes, their
+// validation, and the expansion of sweep requests into (benchmark,
+// config) matrices. Validation happens here, before admission, so a
+// malformed request never occupies a queue slot.
+
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunRequest is the body of POST /v1/run: one (benchmark, config, seed)
+// simulation. Zero-valued fields take the server defaults; warmup is a
+// pointer so an explicit 0 is distinguishable from absent.
+type RunRequest struct {
+	Benchmark string `json:"benchmark"`
+	// Filter is the pollution-filter kind: "none" (default), "pa", "pc",
+	// "static", "adaptive", or "deadblock".
+	Filter string `json:"filter,omitempty"`
+	// CacheKB is the L1 data cache size: 8 (default), 16, or 32.
+	CacheKB int `json:"cache_kb,omitempty"`
+	// TableEntries overrides the filter history-table length (power of two).
+	TableEntries int `json:"table_entries,omitempty"`
+	// L1Ports overrides the L1 port count (§5.4 port/latency pairing).
+	L1Ports int `json:"l1_ports,omitempty"`
+	// PrefetchBuffer routes prefetch fills into the dedicated buffer (§5.5).
+	PrefetchBuffer bool `json:"prefetch_buffer,omitempty"`
+
+	Instructions int64  `json:"instructions,omitempty"`
+	Warmup       *int64 `json:"warmup,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	// DeadlineMS caps this request's wall time; capped by the server's
+	// max deadline. 0 takes the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a batch of simulations,
+// either an explicit benchmarks x filters cross product or the standard
+// paper-evaluation matrix. Identical cells are deduplicated; identical
+// in-flight simulations are shared process-wide through the memo.
+type SweepRequest struct {
+	// Standard expands the full standard evaluation matrix (every
+	// (benchmark, config) pair the paper figures request), optionally
+	// narrowed by Benchmarks. Filters/CacheKB are ignored when set.
+	Standard bool `json:"standard,omitempty"`
+
+	// Benchmarks to sweep; empty means the paper's ten.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Filters to cross with the benchmarks; empty means none/pa/pc.
+	Filters []string `json:"filters,omitempty"`
+	CacheKB int      `json:"cache_kb,omitempty"`
+
+	Instructions int64  `json:"instructions,omitempty"`
+	Warmup       *int64 `json:"warmup,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	DeadlineMS   int64  `json:"deadline_ms,omitempty"`
+}
+
+// RunResult is one simulation's outcome inside a response.
+type RunResult struct {
+	// Name labels the cell as "<benchmark>/<filter>".
+	Name      string `json:"name"`
+	Benchmark string `json:"benchmark"`
+	Filter    string `json:"filter"`
+
+	IPC        float64 `json:"ipc"`
+	L1MissRate float64 `json:"l1_miss_rate"`
+	// WallNS is this job's execution wall time on the pool; a cached or
+	// shared result reports (near) zero.
+	WallNS int64 `json:"wall_ns"`
+
+	Run   *stats.Run `json:"run,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	Seed         uint64    `json:"seed"`
+	Instructions int64     `json:"instructions"`
+	Warmup       int64     `json:"warmup"`
+	Result       RunResult `json:"result"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep. Individual
+// cell failures are reported per-result (and counted in Errors), not as
+// an HTTP error: partial sweeps are useful.
+type SweepResponse struct {
+	Seed         uint64 `json:"seed"`
+	Instructions int64  `json:"instructions"`
+	Warmup       int64  `json:"warmup"`
+	// Jobs is the requested cell count; Unique is after deduplication.
+	Jobs   int `json:"jobs"`
+	Unique int `json:"unique"`
+	Errors int `json:"errors"`
+	// WallNS is the whole sweep's wall time under the scheduler.
+	WallNS  int64       `json:"wall_ns"`
+	Results []RunResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// validateBenchmarks checks every name against the workload registry.
+func validateBenchmarks(names []string) error {
+	for _, b := range names {
+		if b == "" {
+			return fmt.Errorf("empty benchmark name")
+		}
+		if _, ok := workload.ByName(b); !ok {
+			return fmt.Errorf("unknown benchmark %q", b)
+		}
+	}
+	return nil
+}
+
+// buildConfig assembles a machine config from request knobs and
+// validates it.
+func buildConfig(filter string, cacheKB, tableEntries, l1Ports int, prefetchBuffer bool) (config.Config, error) {
+	var cfg config.Config
+	switch cacheKB {
+	case 0, 8:
+		cfg = config.Default8K()
+	case 16:
+		cfg = config.Default16K()
+	case 32:
+		cfg = config.Default32K()
+	default:
+		return config.Config{}, fmt.Errorf("cache_kb must be 8, 16, or 32, got %d", cacheKB)
+	}
+	kind := config.FilterKind(filter)
+	if filter == "" {
+		kind = config.FilterNone
+	}
+	if !kind.Valid() {
+		return config.Config{}, fmt.Errorf("unknown filter %q", filter)
+	}
+	cfg = cfg.WithFilter(kind)
+	if tableEntries > 0 {
+		cfg = cfg.WithTableEntries(tableEntries)
+	}
+	if l1Ports > 0 {
+		cfg = cfg.WithL1Ports(l1Ports)
+	}
+	if prefetchBuffer {
+		cfg = cfg.WithPrefetchBuffer(true)
+	}
+	if err := cfg.Validate(); err != nil {
+		return config.Config{}, err
+	}
+	return cfg, nil
+}
+
+// expandRun turns a validated RunRequest into its single matrix item.
+func expandRun(req RunRequest) ([]experiments.MatrixItem, error) {
+	if err := validateBenchmarks([]string{req.Benchmark}); err != nil {
+		return nil, err
+	}
+	cfg, err := buildConfig(req.Filter, req.CacheKB, req.TableEntries, req.L1Ports, req.PrefetchBuffer)
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.MatrixItem{{Bench: req.Benchmark, Config: cfg}}, nil
+}
+
+// expandSweep turns a validated SweepRequest into its matrix. p supplies
+// the standard-matrix expansion (and carries the benchmark narrowing).
+func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixItem, error) {
+	if err := validateBenchmarks(req.Benchmarks); err != nil {
+		return nil, err
+	}
+	if req.Standard {
+		return p.StandardMatrix(), nil
+	}
+	benches := req.Benchmarks
+	if len(benches) == 0 {
+		benches = workload.PaperNames()
+	}
+	filters := req.Filters
+	if len(filters) == 0 {
+		filters = []string{string(config.FilterNone), string(config.FilterPA), string(config.FilterPC)}
+	}
+	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters))
+	for _, f := range filters {
+		cfg, err := buildConfig(f, req.CacheKB, 0, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range benches {
+			items = append(items, experiments.MatrixItem{Bench: b, Config: cfg})
+		}
+	}
+	return items, nil
+}
+
+// resultFor assembles one RunResult from a matrix item and its run.
+func resultFor(item experiments.MatrixItem, r *stats.Run, wallNS int64, err error) RunResult {
+	out := RunResult{
+		Name:      item.Bench + "/" + string(item.Config.Filter.Kind),
+		Benchmark: item.Bench,
+		Filter:    string(item.Config.Filter.Kind),
+		WallNS:    wallNS,
+	}
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Run = r
+	out.IPC = r.IPC()
+	out.L1MissRate = r.L1MissRate()
+	return out
+}

@@ -1,0 +1,253 @@
+// HTTP handlers: decode, validate, admit, execute, respond. Every
+// response body is JSON except /healthz and /metrics (Prometheus text).
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// maxBodyBytes bounds request bodies; sweeps are small JSON documents.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header are unrecoverable; nothing to do.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.cfg.Metrics.Counter("server.errors." + strconv.Itoa(status)).Inc()
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly decodes one JSON document from the request body.
+// It returns the HTTP status to answer with on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return http.StatusRequestEntityTooLarge, errors.New("request body too large")
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return http.StatusBadRequest, errors.New("bad request body: trailing data after JSON document")
+	}
+	return 0, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.cfg.Metrics
+	// Queue-occupancy gauges, refreshed at scrape time.
+	m.Counter("server.queue.used").Set(uint64(len(s.slots)))
+	m.Counter("server.queue.depth").Set(uint64(cap(s.slots)))
+	m.Counter("server.exec.active").Set(uint64(len(s.exec)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := m.Snapshot().WritePrometheus(w); err != nil {
+		// Mid-stream write error: the connection is gone.
+		return
+	}
+}
+
+// admitAndExecute is the shared serving path: take an admission slot (or
+// 429), apply the deadline, run the matrix on the pool, and translate
+// context expiry into 504. On failure it has already written the
+// response and returns ok=false.
+func (s *Server) admitAndExecute(w http.ResponseWriter, r *http.Request, deadlineMS int64, p *experiments.Params, items []experiments.MatrixItem) (results map[string]sched.Result, wallNS int64, ok bool) {
+	if !s.admit() {
+		s.cfg.Metrics.Counter("server.rejected.backpressure").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "admission queue full (%d requests in flight); retry later", cap(s.slots))
+		return nil, 0, false
+	}
+	defer s.releaseSlot()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(deadlineMS))
+	defer cancel()
+
+	start := time.Now()
+	results, err := s.execute(ctx, p, items)
+	wall := time.Since(start)
+	s.cfg.Metrics.Histogram("server.request.wall_ns").Observe(uint64(wall))
+	if err != nil {
+		s.cfg.Metrics.Counter("server.rejected.deadline").Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "request expired: %v", err)
+		return nil, 0, false
+	}
+	return results, wall.Nanoseconds(), true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.cfg.Metrics.Counter("server.run.requests").Inc()
+	if s.draining.Load() {
+		s.cfg.Metrics.Counter("server.rejected.draining").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req RunRequest
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if req.Instructions > s.cfg.MaxInstructions {
+		s.writeError(w, http.StatusBadRequest, "instructions %d exceeds the per-request cap %d", req.Instructions, s.cfg.MaxInstructions)
+		return
+	}
+	items, err := expandRun(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	p := s.paramsFor(req.Instructions, req.Warmup, req.Seed)
+	results, _, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, items)
+	if !ok {
+		return
+	}
+
+	item := items[0]
+	res := results[p.CacheKey(item.Bench, item.Config)]
+	if res.Err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		s.writeError(w, status, "simulation failed: %v", res.Err)
+		return
+	}
+	run, okType := res.Value.(stats.Run)
+	if !okType {
+		s.writeError(w, http.StatusInternalServerError, "unexpected result type %T", res.Value)
+		return
+	}
+	s.cfg.Metrics.Counter("server.run.completed").Inc()
+	writeJSON(w, http.StatusOK, RunResponse{
+		Seed:         p.Seed,
+		Instructions: p.Instructions,
+		Warmup:       p.Warmup,
+		Result:       resultFor(item, &run, res.Wall.Nanoseconds(), nil),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.cfg.Metrics.Counter("server.sweep.requests").Inc()
+	if s.draining.Load() {
+		s.cfg.Metrics.Counter("server.rejected.draining").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req SweepRequest
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if req.Instructions > s.cfg.MaxInstructions {
+		s.writeError(w, http.StatusBadRequest, "instructions %d exceeds the per-request cap %d", req.Instructions, s.cfg.MaxInstructions)
+		return
+	}
+
+	p := s.paramsFor(req.Instructions, req.Warmup, req.Seed)
+	if req.Standard {
+		p.Benchmarks = req.Benchmarks
+	}
+	items, err := expandSweep(req, &p)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Deduplicate identical cells (first occurrence wins) and enforce
+	// the sweep-size bound on the deduplicated matrix.
+	type cell struct {
+		item experiments.MatrixItem
+		key  string
+	}
+	seen := make(map[string]bool, len(items))
+	cells := make([]cell, 0, len(items))
+	for _, it := range items {
+		key := p.CacheKey(it.Bench, it.Config)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cells = append(cells, cell{item: it, key: key})
+	}
+	if len(cells) > s.cfg.MaxSweepJobs {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "sweep expands to %d jobs, cap is %d", len(cells), s.cfg.MaxSweepJobs)
+		return
+	}
+
+	unique := make([]experiments.MatrixItem, len(cells))
+	for i, c := range cells {
+		unique[i] = c.item
+	}
+	results, wallNS, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, unique)
+	if !ok {
+		return
+	}
+
+	resp := SweepResponse{
+		Seed:         p.Seed,
+		Instructions: p.Instructions,
+		Warmup:       p.Warmup,
+		Jobs:         len(items),
+		Unique:       len(cells),
+		WallNS:       wallNS,
+		Results:      make([]RunResult, 0, len(cells)),
+	}
+	for _, c := range cells {
+		res := results[c.key]
+		if res.Err != nil {
+			resp.Errors++
+			resp.Results = append(resp.Results, resultFor(c.item, nil, res.Wall.Nanoseconds(), res.Err))
+			continue
+		}
+		run, okType := res.Value.(stats.Run)
+		if !okType {
+			resp.Errors++
+			resp.Results = append(resp.Results, resultFor(c.item, nil, res.Wall.Nanoseconds(), fmt.Errorf("unexpected result type %T", res.Value)))
+			continue
+		}
+		resp.Results = append(resp.Results, resultFor(c.item, &run, res.Wall.Nanoseconds(), nil))
+	}
+	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// newTestServer starts an httptest server around a Server built from cfg.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns status + response body.
+func post(t *testing.T, base, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// blockingRunner returns a runSim stub that signals entry and blocks
+// until released (or the context expires).
+func blockingRunner(entered chan<- struct{}, release <-chan struct{}) func(context.Context, *experiments.Params, string, config.Config) (stats.Run, error) {
+	return func(ctx context.Context, _ *experiments.Params, _ string, _ config.Config) (stats.Run, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return stats.Run{Instructions: 1, Cycles: 1}, nil
+		case <-ctx.Done():
+			return stats.Run{}, ctx.Err()
+		}
+	}
+}
+
+func TestHandlerTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepJobs: 4, MaxInstructions: 1000})
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantInBody               string
+	}{
+		{"bad json", "POST", "/v1/run", `{not json`, 400, "bad request body"},
+		{"empty body", "POST", "/v1/run", ``, 400, "bad request body"},
+		{"trailing garbage", "POST", "/v1/run", `{"benchmark":"mcf"} extra`, 400, "trailing data"},
+		{"unknown field", "POST", "/v1/run", `{"benchmark":"mcf","bogus_field":1}`, 400, "bad request body"},
+		{"missing benchmark", "POST", "/v1/run", `{}`, 400, "benchmark"},
+		{"unknown benchmark", "POST", "/v1/run", `{"benchmark":"not-a-benchmark"}`, 400, "unknown benchmark"},
+		{"unknown filter", "POST", "/v1/run", `{"benchmark":"mcf","filter":"bogus"}`, 400, "unknown filter"},
+		{"bad cache size", "POST", "/v1/run", `{"benchmark":"mcf","cache_kb":13}`, 400, "cache_kb"},
+		{"bad table entries", "POST", "/v1/run", `{"benchmark":"mcf","table_entries":100}`, 400, "power of two"},
+		{"instructions cap", "POST", "/v1/run", `{"benchmark":"mcf","instructions":2000}`, 400, "cap"},
+		{"run wrong method", "GET", "/v1/run", ``, 405, ""},
+		{"sweep bad json", "POST", "/v1/sweep", `[1,2`, 400, "bad request body"},
+		{"sweep unknown benchmark", "POST", "/v1/sweep", `{"benchmarks":["nope"]}`, 400, "unknown benchmark"},
+		{"sweep unknown filter", "POST", "/v1/sweep", `{"benchmarks":["mcf"],"filters":["bogus"]}`, 400, "unknown filter"},
+		{"oversized sweep", "POST", "/v1/sweep", `{}`, 413, "cap is 4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var status int
+			var body []byte
+			switch tc.method {
+			case "POST":
+				status, body = post(t, ts.URL, tc.path, tc.body)
+			default:
+				status, body = get(t, ts.URL, tc.path)
+			}
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", status, tc.wantStatus, body)
+			}
+			if tc.wantInBody != "" && !strings.Contains(string(body), tc.wantInBody) {
+				t.Fatalf("body %q missing %q", body, tc.wantInBody)
+			}
+		})
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, body := get(t, ts.URL, "/healthz"); status != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", status, body)
+	}
+	status, body := get(t, ts.URL, "/metrics")
+	if status != 200 {
+		t.Fatalf("metrics = %d", status)
+	}
+	for _, want := range []string{"# TYPE", "server_queue_depth"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{QueueDepth: 1, MaxConcurrent: 1, Workers: 1, RetryAfter: 3 * time.Second})
+	s.runSim = blockingRunner(entered, release)
+
+	// Request 1 occupies the only admission slot.
+	first := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`)
+		first <- status
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the runner")
+	}
+
+	// The queue is full: the next request must bounce with 429.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(`{"benchmark":"mcf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status = %d (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+
+	// Release: the in-flight request completes and the queue drains.
+	close(release)
+	if status := <-first; status != 200 {
+		t.Fatalf("in-flight request after drain: status = %d", status)
+	}
+	if status, body := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`); status != 200 {
+		t.Fatalf("post-drain request: status = %d (body %s)", status, body)
+	}
+
+	// The rejection is visible in /metrics.
+	if _, body := get(t, ts.URL, "/metrics"); !strings.Contains(string(body), "server_rejected_backpressure 1") {
+		t.Fatalf("metrics missing backpressure rejection:\n%s", body)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{QueueDepth: 4, MaxConcurrent: 2, Workers: 1})
+	s.runSim = blockingRunner(entered, release)
+
+	first := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`)
+		first <- status
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the runner")
+	}
+
+	s.BeginDrain()
+
+	// New work is refused while draining...
+	if status, _ := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining run: status = %d, want 503", status)
+	}
+	if status, _ := post(t, ts.URL, "/v1/sweep", `{"benchmarks":["mcf"]}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining sweep: status = %d, want 503", status)
+	}
+	if status, _ := get(t, ts.URL, "/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status = %d, want 503", status)
+	}
+
+	// ...but the in-flight request completes with its full response.
+	close(release)
+	if status := <-first; status != 200 {
+		t.Fatalf("in-flight request during drain: status = %d", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDeadlineExpiresInFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 2, MaxConcurrent: 1, Workers: 1})
+	// Runner blocks until the request context expires.
+	s.runSim = blockingRunner(make(chan struct{}, 1), nil)
+
+	status, body := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf","deadline_ms":50}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status = %d (body %s)", status, body)
+	}
+}
+
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{QueueDepth: 4, MaxConcurrent: 1, Workers: 1})
+	s.runSim = blockingRunner(entered, release)
+	defer close(release)
+
+	first := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`)
+		first <- status
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the runner")
+	}
+
+	// The execution token is held; a short-deadline request admitted
+	// behind it must expire in the queue, not hang.
+	status, body := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf","deadline_ms":50}`)
+	if status != http.StatusGatewayTimeout || !strings.Contains(string(body), "queued") {
+		t.Fatalf("queued-past-deadline: status = %d (body %s)", status, body)
+	}
+}
+
+// TestConcurrentIdenticalRunsShareOneSimulation is the end-to-end
+// acceptance check: two concurrent identical /v1/run requests perform
+// ONE simulation, and the share is visible in /metrics.
+func TestConcurrentIdenticalRunsShareOneSimulation(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 2})
+	// A seed no other test uses keeps the process-wide memo cold for
+	// this key.
+	req := `{"benchmark":"fpppp","instructions":30000,"warmup":10000,"seed":990077}`
+
+	var wg sync.WaitGroup
+	cycles := make([]uint64, 2)
+	for i := range cycles {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			status, body := post(t, ts.URL, "/v1/run", req)
+			if status != 200 {
+				t.Errorf("request %d: status = %d (body %s)", slot, status, body)
+				return
+			}
+			var resp RunResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Errorf("request %d: %v", slot, err)
+				return
+			}
+			if resp.Result.Run == nil || resp.Result.Run.Cycles == 0 {
+				t.Errorf("request %d: empty run payload: %s", slot, body)
+				return
+			}
+			cycles[slot] = resp.Result.Run.Cycles
+		}(i)
+	}
+	wg.Wait()
+	if cycles[0] != cycles[1] {
+		t.Fatalf("identical requests disagree: %d vs %d cycles", cycles[0], cycles[1])
+	}
+
+	_, body := get(t, ts.URL, "/metrics")
+	if !strings.Contains(string(body), "experiments_cache_misses 1") {
+		t.Fatalf("expected exactly one simulation; /metrics:\n%s", grepLines(body, "experiments_cache"))
+	}
+	if !strings.Contains(string(body), "experiments_cache_shared 1") {
+		t.Fatalf("memo share not visible; /metrics:\n%s", grepLines(body, "experiments_cache"))
+	}
+}
+
+// grepLines filters exposition output for readable failure messages.
+func grepLines(b []byte, substr string) string {
+	var out bytes.Buffer
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.Contains(line, substr) {
+			fmt.Fprintln(&out, line)
+		}
+	}
+	return out.String()
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"filters":["none","pa","pa"],"instructions":30000,"warmup":10000,"seed":990078}`)
+	if status != 200 {
+		t.Fatalf("sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Jobs != 3 || resp.Unique != 2 {
+		t.Fatalf("jobs=%d unique=%d, want 3/2 (duplicate pa cell must dedup)", resp.Jobs, resp.Unique)
+	}
+	if resp.Errors != 0 || len(resp.Results) != 2 {
+		t.Fatalf("errors=%d results=%d: %s", resp.Errors, len(resp.Results), body)
+	}
+	names := map[string]bool{}
+	for _, r := range resp.Results {
+		names[r.Name] = true
+		if r.IPC <= 0 || r.Run == nil {
+			t.Fatalf("result %s has no payload: %+v", r.Name, r)
+		}
+	}
+	if !names["fpppp/none"] || !names["fpppp/pa"] {
+		t.Fatalf("unexpected result names: %v", names)
+	}
+}
+
+func TestSweepStandardExpansion(t *testing.T) {
+	calls := make(chan string, 256)
+	s, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	s.runSim = func(_ context.Context, _ *experiments.Params, bench string, _ config.Config) (stats.Run, error) {
+		calls <- bench
+		return stats.Run{Instructions: 1, Cycles: 2}, nil
+	}
+	status, body := post(t, ts.URL, "/v1/sweep", `{"standard":true,"benchmarks":["fpppp"]}`)
+	if status != 200 {
+		t.Fatalf("standard sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The standard matrix for one benchmark spans the filter triples,
+	// table/port sweeps, buffer schemes, and the 16KB comparison.
+	if resp.Unique < 15 {
+		t.Fatalf("standard matrix expanded to only %d unique jobs", resp.Unique)
+	}
+	if got := len(calls); got != resp.Unique {
+		t.Fatalf("runner executed %d jobs, response reports %d", got, resp.Unique)
+	}
+	for len(calls) > 0 {
+		if b := <-calls; b != "fpppp" {
+			t.Fatalf("standard sweep escaped the benchmark narrowing: ran %q", b)
+		}
+	}
+}
+
+func TestSimulationErrorSurfacesAs500(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.runSim = func(context.Context, *experiments.Params, string, config.Config) (stats.Run, error) {
+		return stats.Run{}, fmt.Errorf("synthetic failure")
+	}
+	status, body := post(t, ts.URL, "/v1/run", `{"benchmark":"mcf"}`)
+	if status != http.StatusInternalServerError || !strings.Contains(string(body), "synthetic failure") {
+		t.Fatalf("simulation failure: status = %d (body %s)", status, body)
+	}
+}
