@@ -17,6 +17,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	pfilter "repro/internal/filter"
 	"repro/internal/isa"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
@@ -71,6 +72,7 @@ func BenchmarkExtras(b *testing.B)    { runExperiment(b, "extras") }
 func BenchmarkAblation(b *testing.B)  { runExperiment(b, "ablation") }
 func BenchmarkTaxonomy(b *testing.B)  { runExperiment(b, "taxonomy") }
 func BenchmarkEnergy(b *testing.B)    { runExperiment(b, "energy") }
+func BenchmarkFilters(b *testing.B)   { runExperiment(b, "filters") }
 
 // BenchmarkAblationIndexing compares direct vs multiplicative-hash
 // indexing of the history table on one aliasing-prone workload — the
@@ -133,6 +135,85 @@ func BenchmarkFilterAllow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f.Allow(core.Request{LineAddr: uint64(i), TriggerPC: uint64(i) * 4})
+	}
+}
+
+// BenchmarkFilterPredict compares the per-prefetch decision cost of the
+// pollution-filter backends: the paper's 2-bit table against the learned
+// backends from internal/filter. The stream mixes lines and PCs so table
+// rows and perceptron features don't degenerate onto one entry.
+func BenchmarkFilterPredict(b *testing.B) {
+	mk := func(kind config.FilterKind) core.Filter {
+		cfg := config.Default().Filter
+		cfg.Kind = kind
+		f, err := pfilter.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	for _, bc := range []struct {
+		name string
+		f    core.Filter
+	}{
+		{"table-pa", mk(config.FilterPA)},
+		{"perceptron", mk(config.FilterPerceptron)},
+		{"bloom", mk(config.FilterBloom)},
+		{"tournament", mk(config.FilterTournament)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			// Warm the structures with mixed-outcome feedback first.
+			for i := uint64(0); i < 8192; i++ {
+				bc.f.Train(core.Feedback{
+					LineAddr:   i * 0x40,
+					TriggerPC:  0x400000 + i%257*4,
+					Referenced: i%3 == 0,
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc.f.Allow(core.Request{
+					LineAddr:  uint64(i) * 0x40,
+					TriggerPC: 0x400000 + uint64(i)%257*4,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFilterTrain measures the eviction-time training cost per
+// backend (the hierarchy pays this on every L1 eviction of a prefetched
+// line).
+func BenchmarkFilterTrain(b *testing.B) {
+	mk := func(kind config.FilterKind) core.Filter {
+		cfg := config.Default().Filter
+		cfg.Kind = kind
+		f, err := pfilter.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	for _, bc := range []struct {
+		name string
+		f    core.Filter
+	}{
+		{"table-pa", mk(config.FilterPA)},
+		{"perceptron", mk(config.FilterPerceptron)},
+		{"bloom", mk(config.FilterBloom)},
+		{"tournament", mk(config.FilterTournament)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.f.Train(core.Feedback{
+					LineAddr:   uint64(i) * 0x40,
+					TriggerPC:  0x400000 + uint64(i)%257*4,
+					Referenced: i&1 == 0,
+				})
+			}
+		})
 	}
 }
 
@@ -237,9 +318,9 @@ func BenchmarkCachePressure(b *testing.B) {
 }
 
 func init() {
-	// Fail fast if the experiment registry ever drifts from the 21
+	// Fail fast if the experiment registry ever drifts from the
 	// artifacts the benchmarks above cover.
-	if got := len(experiments.All()); got != 27 {
+	if got := len(experiments.All()); got != 28 {
 		panic(fmt.Sprintf("bench harness out of date: %d experiments registered", got))
 	}
 }

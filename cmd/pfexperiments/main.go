@@ -10,6 +10,8 @@
 //	pfexperiments -exp fig12 -csv    # CSV instead of aligned text
 //	pfexperiments -all -n 5000000    # longer runs for tighter statistics
 //	pfexperiments -bench-json        # timed bench matrix -> BENCH_baseline.json
+//	pfexperiments -filters all       # head-to-head filter-backend comparison
+//	pfexperiments -filters pa,perceptron,bloom -bench mcf
 package main
 
 import (
@@ -22,11 +24,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat)")
+		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -39,6 +42,7 @@ func main() {
 		met      = flag.Bool("metrics", false, "print harness telemetry (cache hits/misses, scheduler steals, per-benchmark sim wall time) after the run")
 		benchOut = flag.String("bench-out", "BENCH_baseline.json", "output path for -bench-json")
 		benchJSN = flag.Bool("bench-json", false, "run the timed (benchmark x filter) bench matrix and write a BENCH JSON report")
+		filters  = flag.String("filters", "", "comma-separated filter backends to compare head to head, or \"all\" for every sweepable backend")
 	)
 	var jobs int
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
@@ -91,6 +95,36 @@ func main() {
 		fmt.Printf("bench matrix: %d sims in %.1fs (serial-equivalent %.1fs, speedup %.2fx, %d steals) -> %s\n",
 			len(report.Entries), time.Since(start).Seconds(),
 			time.Duration(report.SerialWallNS).Seconds(), report.Speedup(), report.Steals, *benchOut)
+		if *met {
+			printTelemetry(&params)
+		}
+		return
+	}
+
+	if *filters != "" {
+		kinds := []string(nil) // "all" selects every sweepable backend
+		if *filters != "all" {
+			kinds = strings.Split(*filters, ",")
+		}
+		rows, err := params.FilterComparison(ctx, kinds, jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: filters: %v\n", err)
+			os.Exit(1)
+		}
+		table := report.FilterComparison("Filter backends head to head (default machine)", rows)
+		var werr error
+		switch {
+		case *csv:
+			werr = table.WriteCSV(os.Stdout)
+		case *md:
+			werr = table.WriteMarkdown(os.Stdout)
+		default:
+			werr = table.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pfexperiments:", werr)
+			os.Exit(1)
+		}
 		if *met {
 			printTelemetry(&params)
 		}

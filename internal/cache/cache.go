@@ -39,6 +39,7 @@ type Line struct {
 	RIB       bool   // demand-referenced since fill (valid only if PIB)
 	TriggerPC uint64 // PC that triggered the prefetch (0 for demand fills)
 	SoftPF    bool   // prefetch was a software prefetch instruction
+	PFSource  uint8  // generator id of the prefetch (core.Source; 0 for demand fills)
 
 	// Shadow-directory prefetching metadata (used when this cache is the
 	// L2; see internal/prefetch.SDP).

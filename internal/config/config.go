@@ -27,12 +27,45 @@ const (
 	// line they would displace — the Lai et al. dead-block baseline
 	// (paper reference [11]), built from the same 2-bit counter fabric.
 	FilterDeadBlock FilterKind = "deadblock"
+	// FilterPerceptron is a hashed-perceptron filter (internal/filter):
+	// per-feature weight tables over line address, trigger PC, and
+	// prefetcher id, trained on the same eviction-time RIB signal.
+	FilterPerceptron FilterKind = "perceptron"
+	// FilterBloom is a counting-Bloom rejection filter with periodic
+	// decay: bad evictions insert the line address, k saturated counters
+	// above the reject threshold drop the prefetch.
+	FilterBloom FilterKind = "bloom"
+	// FilterTournament set-duels two backends with a PSEL counter:
+	// sampled leader keys always use their backend, follower keys use
+	// whichever backend the PSEL currently favours.
+	FilterTournament FilterKind = "tournament"
 )
 
-// Valid reports whether k names a known filter kind.
-func (k FilterKind) Valid() bool {
+// Aliases accepted anywhere a FilterKind is parsed; Canonical() folds
+// them onto the paper kinds so configs naming either spelling build the
+// same machine (and share memo cache entries).
+const (
+	FilterTablePA FilterKind = "table-pa" // alias of FilterPA
+	FilterTablePC FilterKind = "table-pc" // alias of FilterPC
+)
+
+// Canonical resolves aliases to the canonical kind name.
+func (k FilterKind) Canonical() FilterKind {
 	switch k {
-	case FilterNone, FilterPA, FilterPC, FilterStatic, FilterAdaptive, FilterDeadBlock:
+	case FilterTablePA:
+		return FilterPA
+	case FilterTablePC:
+		return FilterPC
+	}
+	return k
+}
+
+// Valid reports whether k (or its canonical form) names a known filter
+// kind.
+func (k FilterKind) Valid() bool {
+	switch k.Canonical() {
+	case FilterNone, FilterPA, FilterPC, FilterStatic, FilterAdaptive, FilterDeadBlock,
+		FilterPerceptron, FilterBloom, FilterTournament:
 		return true
 	}
 	return false
@@ -206,6 +239,39 @@ type FilterConfig struct {
 	AdaptiveAccuracy float64 `json:"adaptive_accuracy"`
 	// AdaptiveWindow: number of classified prefetches per accuracy sample.
 	AdaptiveWindow int `json:"adaptive_window"`
+
+	// Per-backend parameters for the internal/filter zoo. All are
+	// optional (zero selects the backend's default) and omitted from the
+	// JSON encoding when unset, so configurations that never name these
+	// backends keep their pre-zoo canonical encoding — and therefore
+	// their memo cache keys and harness fingerprints — byte-identical.
+
+	// PerceptronEntries sizes each per-feature weight table (power of
+	// two; default 1024).
+	PerceptronEntries int `json:"perceptron_entries,omitempty"`
+	// PerceptronTheta is the training threshold: weights train whenever
+	// the prediction was wrong or |sum| <= theta (default 8).
+	PerceptronTheta int `json:"perceptron_theta,omitempty"`
+
+	// BloomEntries sizes the counting-Bloom counter array (power of two;
+	// default 4096).
+	BloomEntries int `json:"bloom_entries,omitempty"`
+	// BloomHashes is the number of hash probes per key (default 2).
+	BloomHashes int `json:"bloom_hashes,omitempty"`
+	// BloomReject is the minimum count across all probes that predicts a
+	// bad prefetch (default 2).
+	BloomReject int `json:"bloom_reject,omitempty"`
+	// BloomDecay halves every counter after this many trainings
+	// (default 8192; negative disables decay).
+	BloomDecay int `json:"bloom_decay,omitempty"`
+
+	// TournamentA and TournamentB name the two duelling backends
+	// (defaults: pa and perceptron). Neither may itself be a tournament,
+	// static, or deadblock kind.
+	TournamentA FilterKind `json:"tournament_a,omitempty"`
+	TournamentB FilterKind `json:"tournament_b,omitempty"`
+	// TournamentPselBits sizes the PSEL saturating counter (default 10).
+	TournamentPselBits int `json:"tournament_psel_bits,omitempty"`
 }
 
 // Validate checks the filter parameters.
@@ -226,6 +292,32 @@ func (c FilterConfig) Validate() error {
 		}
 		if c.AdaptiveWindow <= 0 {
 			return fmt.Errorf("filter: adaptive window must be positive, got %d", c.AdaptiveWindow)
+		}
+	}
+	switch {
+	case c.PerceptronEntries < 0 || (c.PerceptronEntries > 0 && c.PerceptronEntries&(c.PerceptronEntries-1) != 0):
+		return fmt.Errorf("filter: perceptron entries must be a power of two, got %d", c.PerceptronEntries)
+	case c.PerceptronTheta < 0:
+		return fmt.Errorf("filter: perceptron theta must be non-negative, got %d", c.PerceptronTheta)
+	case c.BloomEntries < 0 || (c.BloomEntries > 0 && c.BloomEntries&(c.BloomEntries-1) != 0):
+		return fmt.Errorf("filter: bloom entries must be a power of two, got %d", c.BloomEntries)
+	case c.BloomHashes < 0 || c.BloomHashes > 8:
+		return fmt.Errorf("filter: bloom hashes must be in [0,8], got %d", c.BloomHashes)
+	case c.BloomReject < 0 || c.BloomReject > 15:
+		return fmt.Errorf("filter: bloom reject threshold must be in [0,15], got %d", c.BloomReject)
+	case c.TournamentPselBits < 0 || c.TournamentPselBits > 20:
+		return fmt.Errorf("filter: tournament PSEL bits must be in [0,20], got %d", c.TournamentPselBits)
+	}
+	for _, side := range []FilterKind{c.TournamentA, c.TournamentB} {
+		if side == "" {
+			continue
+		}
+		switch side.Canonical() {
+		case FilterTournament, FilterStatic, FilterDeadBlock:
+			return fmt.Errorf("filter: tournament side cannot be %q", side)
+		}
+		if !side.Valid() {
+			return fmt.Errorf("filter: unknown tournament side %q", side)
 		}
 	}
 	return nil

@@ -128,6 +128,15 @@ func TestValidateErrors(t *testing.T) {
 		{"big threshold", func(c *Config) { c.Filter.Threshold = 7 }, "threshold"},
 		{"bad adaptive acc", func(c *Config) { c.Filter.Kind = FilterAdaptive; c.Filter.AdaptiveAccuracy = 1.5 }, "adaptive"},
 		{"bad adaptive window", func(c *Config) { c.Filter.Kind = FilterAdaptive; c.Filter.AdaptiveWindow = 0 }, "adaptive"},
+		{"non-pow2 perceptron", func(c *Config) { c.Filter.PerceptronEntries = 1000 }, "perceptron"},
+		{"negative perceptron theta", func(c *Config) { c.Filter.PerceptronTheta = -1 }, "theta"},
+		{"non-pow2 bloom", func(c *Config) { c.Filter.BloomEntries = 1000 }, "bloom"},
+		{"too many bloom hashes", func(c *Config) { c.Filter.BloomHashes = 9 }, "bloom hashes"},
+		{"bloom reject overflow", func(c *Config) { c.Filter.BloomReject = 16 }, "reject"},
+		{"psel bits overflow", func(c *Config) { c.Filter.TournamentPselBits = 21 }, "PSEL"},
+		{"tournament side static", func(c *Config) { c.Filter.TournamentA = FilterStatic }, "tournament side"},
+		{"tournament side nested", func(c *Config) { c.Filter.TournamentB = FilterTournament }, "tournament side"},
+		{"tournament side unknown", func(c *Config) { c.Filter.TournamentB = "magic" }, "tournament side"},
 		{"buffer zero entries", func(c *Config) { c.Buffer.Enable = true; c.Buffer.Entries = 0 }, "buffer"},
 		{"negative max instructions", func(c *Config) { c.MaxInstructions = -1 }, "max instructions"},
 	}
@@ -154,7 +163,10 @@ func TestNonPow2SetsRejected(t *testing.T) {
 }
 
 func TestFilterKindValid(t *testing.T) {
-	for _, k := range []FilterKind{FilterNone, FilterPA, FilterPC, FilterStatic, FilterAdaptive} {
+	for _, k := range []FilterKind{
+		FilterNone, FilterPA, FilterPC, FilterStatic, FilterAdaptive,
+		FilterDeadBlock, FilterPerceptron, FilterBloom, FilterTournament,
+	} {
 		if !k.Valid() {
 			t.Errorf("%q should be valid", k)
 		}

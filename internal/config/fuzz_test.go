@@ -15,8 +15,13 @@ func FuzzConfigString(f *testing.F) {
 	f.Add(32*1024, 4, 5, 3, 1024, "pc", uint64(7), false, true, 4, 16)
 	f.Add(16*1024, 2, 4, 2, 64, "adaptive", uint64(42), true, false, 2, 8)
 	f.Add(8*1024, 1, 3, 1, 4096, "none", uint64(0), false, false, 1, 0)
+	f.Add(8*1024, 1, 3, 1, 4096, "perceptron", uint64(2), true, true, 2, 0)
+	f.Add(8*1024, 1, 3, 1, 1024, "tournament", uint64(3), true, false, 1, 0)
 
-	kinds := []FilterKind{FilterNone, FilterPA, FilterPC, FilterAdaptive, FilterDeadBlock}
+	kinds := []FilterKind{
+		FilterNone, FilterPA, FilterPC, FilterAdaptive, FilterDeadBlock,
+		FilterPerceptron, FilterBloom, FilterTournament,
+	}
 
 	f.Fuzz(func(t *testing.T, l1Size, l1Assoc, l1Ports, l1Lat, tableEntries int,
 		filter string, seed uint64, nsp, sdp bool, degree, victim int) {

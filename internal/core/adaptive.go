@@ -102,6 +102,15 @@ func (a *Adaptive) Train(fb Feedback) {
 	a.inner.Train(fb)
 }
 
+// Predict reports the current decision for req without touching stats:
+// pass-through while disengaged, the inner table's prediction otherwise.
+func (a *Adaptive) Predict(req Request) bool {
+	if !a.engaged {
+		return true
+	}
+	return a.inner.Predict(req)
+}
+
 // Name implements Filter.
 func (a *Adaptive) Name() string { return a.inner.Name() + "-adaptive" }
 

@@ -28,6 +28,39 @@ import (
 	"repro/internal/predictor"
 )
 
+// Source identifies the prefetch generator that proposed a prefetch. It
+// is carried through the filter request, the cache line's metadata, and
+// the eviction-time feedback so feature-based filters (the perceptron
+// backend in internal/filter) can learn per-generator behaviour.
+type Source uint8
+
+// Prefetch generators known to the simulator.
+const (
+	SrcOther       Source = iota // unknown / custom generator
+	SrcNSP                       // tagged next-sequence prefetching
+	SrcSDP                       // shadow-directory prefetching
+	SrcStride                    // reference-prediction-table stride
+	SrcCorrelation               // miss-pair correlation
+	SrcSoftware                  // compiler-inserted prefetch instruction
+)
+
+// SourceByName maps a prefetcher's registered name to its Source id.
+func SourceByName(name string) Source {
+	switch name {
+	case "nsp":
+		return SrcNSP
+	case "sdp":
+		return SrcSDP
+	case "stride":
+		return SrcStride
+	case "corr":
+		return SrcCorrelation
+	case "sw":
+		return SrcSoftware
+	}
+	return SrcOther
+}
+
 // Request describes an in-flight prefetch presented to the filter before
 // it is enqueued toward the L1.
 type Request struct {
@@ -40,6 +73,8 @@ type Request struct {
 	TriggerPC uint64
 	// Software marks compiler-inserted prefetch instructions.
 	Software bool
+	// Source identifies the generator that proposed the prefetch.
+	Source Source
 }
 
 // Feedback is the eviction-time training signal: the identity of a
@@ -47,7 +82,8 @@ type Request struct {
 type Feedback struct {
 	LineAddr   uint64
 	TriggerPC  uint64
-	Referenced bool // the line's RIB at eviction
+	Referenced bool   // the line's RIB at eviction
+	Source     Source // generator that proposed the prefetch
 }
 
 // Stats counts filter activity.
@@ -103,6 +139,10 @@ func (n *Null) Train(fb Feedback) {
 // Name implements Filter.
 func (n *Null) Name() string { return "none" }
 
+// Predict implements the side-effect-free prediction used by tournament
+// selectors: the pass-through filter always predicts "good".
+func (n *Null) Predict(Request) bool { return true }
+
 // ResetStats zeroes the counters (warmup boundary).
 func (n *Null) ResetStats() { n.stats = Stats{} }
 
@@ -121,9 +161,11 @@ const (
 )
 
 // HistoryTable is the filter's prediction state: a power-of-two array of
-// 2-bit saturating counters (Table 1 default: 4096 entries = 1KB).
+// 2-bit saturating counters (Table 1 default: 4096 entries = 1KB). The
+// counter storage is predictor.CounterTable — the same fabric behind the
+// bimodal branch predictor.
 type HistoryTable struct {
-	counters  []predictor.SatCounter
+	counters  *predictor.CounterTable
 	mask      uint64
 	mode      IndexMode
 	shift     uint // for multiplicative hashing
@@ -134,14 +176,15 @@ type HistoryTable struct {
 // count. All counters start at initial; predictions are "good" when the
 // counter is >= threshold.
 func NewHistoryTable(entries int, initial, threshold uint8, mode IndexMode) (*HistoryTable, error) {
-	if entries <= 0 || entries&(entries-1) != 0 {
-		return nil, fmt.Errorf("core: history table entries must be a positive power of two, got %d", entries)
-	}
 	if initial > 3 || threshold > 3 {
 		return nil, fmt.Errorf("core: initial (%d) and threshold (%d) must be 2-bit values", initial, threshold)
 	}
+	ct, err := predictor.NewCounterTable(entries, predictor.SatCounter(initial))
+	if err != nil {
+		return nil, fmt.Errorf("core: history table: %w", err)
+	}
 	t := &HistoryTable{
-		counters:  make([]predictor.SatCounter, entries),
+		counters:  ct,
 		mask:      uint64(entries - 1),
 		mode:      mode,
 		threshold: predictor.SatCounter(threshold),
@@ -151,9 +194,6 @@ func NewHistoryTable(entries int, initial, threshold uint8, mode IndexMode) (*Hi
 		bits++
 	}
 	t.shift = 64 - bits
-	for i := range t.counters {
-		t.counters[i] = predictor.SatCounter(initial)
-	}
 	return t, nil
 }
 
@@ -167,25 +207,24 @@ func (t *HistoryTable) Index(key uint64) uint64 {
 
 // Predict reports whether the counter for key predicts a good prefetch.
 func (t *HistoryTable) Predict(key uint64) bool {
-	return t.counters[t.Index(key)] >= t.threshold
+	return t.counters.At(t.Index(key)) >= t.threshold
 }
 
 // Update trains the counter for key: good increments, bad decrements.
 func (t *HistoryTable) Update(key uint64, good bool) {
-	i := t.Index(key)
-	t.counters[i] = t.counters[i].Update(good)
+	t.counters.Update(t.Index(key), good)
 }
 
 // Counter exposes the raw counter for key (tests and introspection).
 func (t *HistoryTable) Counter(key uint64) predictor.SatCounter {
-	return t.counters[t.Index(key)]
+	return t.counters.At(t.Index(key))
 }
 
 // Entries returns the table length.
-func (t *HistoryTable) Entries() int { return len(t.counters) }
+func (t *HistoryTable) Entries() int { return t.counters.Len() }
 
 // SizeBytes returns the storage cost: 2 bits per entry.
-func (t *HistoryTable) SizeBytes() int { return len(t.counters) / 4 }
+func (t *HistoryTable) SizeBytes() int { return t.counters.Len() / 4 }
 
 // KeyFunc extracts the history-table key from a prefetch identity.
 type KeyFunc func(lineAddr, triggerPC uint64) uint64
@@ -250,6 +289,13 @@ func NewTableFilter(name string, key KeyFunc, entries int, initial, threshold ui
 	return &TableFilter{table: t, key: key, name: name}, nil
 }
 
+// Predict reports the table's current prediction for req without
+// touching any statistics — the side-effect-free probe tournament
+// selectors use to consult a backend they may not pick.
+func (f *TableFilter) Predict(req Request) bool {
+	return f.table.Predict(f.key(req.LineAddr, req.TriggerPC))
+}
+
 // Allow implements Filter.
 func (f *TableFilter) Allow(req Request) bool {
 	f.stats.Queries++
@@ -291,11 +337,8 @@ func (f *TableFilter) Table() *HistoryTable { return f.table }
 // each 2-bit counter value — the filter's learned state in one glance
 // (a table stuck at 0 has absorbed its working set; a table at the
 // initial value has learned nothing).
-func (t *HistoryTable) CounterDistribution() (dist [4]int) {
-	for _, c := range t.counters {
-		dist[c&3]++
-	}
-	return dist
+func (t *HistoryTable) CounterDistribution() [4]int {
+	return t.counters.Distribution()
 }
 
 // MetricsDumper is implemented by filters that can export their state

@@ -6,14 +6,17 @@ import (
 	"repro/internal/config"
 )
 
-// FromConfig instantiates the filter a configuration names. FilterStatic
-// cannot be built here — it needs a profiling run first; use
-// NewProfileCollector + Freeze (the experiment harness automates this).
+// FromConfig instantiates the table-family filters a configuration
+// names. FilterStatic cannot be built here — it needs a profiling run
+// first; use NewProfileCollector + Freeze (the experiment harness
+// automates this). The learned backends (perceptron, bloom, tournament)
+// live in internal/filter, whose registry wraps this constructor for
+// the kinds below.
 func FromConfig(cfg config.FilterConfig) (Filter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	switch cfg.Kind {
+	switch cfg.Kind.Canonical() {
 	case config.FilterNone:
 		return NewNull(), nil
 	case config.FilterPA:

@@ -80,10 +80,15 @@ func (r *BenchReport) Speedup() float64 {
 	return float64(r.SerialWallNS) / float64(r.TotalWallNS)
 }
 
-// benchFilters is the reduced bench matrix: the three headline filter
-// configurations. Sweeps (table sizes, ports, buffers) live in Prewarm;
-// the bench harness wants stable, comparable, fast coverage.
-var benchFilters = []config.FilterKind{config.FilterNone, config.FilterPA, config.FilterPC}
+// benchFilters is the reduced bench matrix: the paper's headline filter
+// configurations plus the learned backends from internal/filter, so the
+// baseline tracks the wall-clock cost of every backend a sweep can
+// select. Sweeps (table sizes, ports, buffers) live in Prewarm; the
+// bench harness wants stable, comparable, fast coverage.
+var benchFilters = []config.FilterKind{
+	config.FilterNone, config.FilterPA, config.FilterPC,
+	config.FilterPerceptron, config.FilterBloom, config.FilterTournament,
+}
 
 // BenchJSON runs the reduced (benchmark x filter) matrix through the
 // work-stealing scheduler with `jobs` workers, timing every simulation,

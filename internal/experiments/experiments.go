@@ -188,6 +188,8 @@ func orderKey(id string) int {
 		return 107
 	case "memlat":
 		return 108
+	case "filters":
+		return 109
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {

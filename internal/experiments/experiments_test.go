@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/report"
 )
 
 // configDefaultForTest returns the default machine for cache-concurrency
@@ -16,7 +18,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"baselines", "extras", "ablation", "taxonomy", "energy", "adaptivity", "variance", "multiprog", "aggression", "memlat"}
+		"baselines", "extras", "ablation", "taxonomy", "energy", "adaptivity", "variance", "multiprog", "aggression", "memlat", "filters"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -272,5 +274,72 @@ func TestCacheKeyIncludesSeedAndBudget(t *testing.T) {
 	// And distinct benchmarks must, too.
 	if base.cacheKey("gzip", cfg) == baseKey {
 		t.Error("cache key ignores the benchmark name")
+	}
+}
+
+func TestFiltersExperimentSmall(t *testing.T) {
+	p := smallParams()
+	e, ok := ByID("filters")
+	if !ok {
+		t.Fatal("filters experiment not registered")
+	}
+	tab, err := e.Run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"perceptron", "bloom", "tournament", "pa", "pc", "none", "mcf", "fpppp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("filters table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilterComparisonRejectsUnknownKind(t *testing.T) {
+	p := smallParams()
+	if _, err := p.FilterComparison(context.Background(), []string{"bogus"}, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	} else if !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("error should list registered kinds, got: %v", err)
+	}
+	if _, err := p.FilterComparison(context.Background(), []string{"static"}, 1); err == nil {
+		t.Fatal("static kind must be refused in sweeps")
+	}
+}
+
+func TestFilterComparisonBaselineDelta(t *testing.T) {
+	p := smallParams()
+	p.Benchmarks = []string{"mcf"}
+	rows, err := p.FilterComparison(context.Background(), []string{"pa", "table-pa"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// none + pa (table-pa dedups onto pa) = 2 rows.
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (alias must dedup): %+v", len(rows), rows)
+	}
+	var none, pa *report.FilterComparisonRow
+	for i := range rows {
+		switch rows[i].Filter {
+		case "none":
+			none = &rows[i]
+		case "pa":
+			pa = &rows[i]
+		}
+	}
+	if none == nil || pa == nil {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	if none.IPCDelta != 0 {
+		t.Errorf("baseline IPC delta = %g, want 0", none.IPCDelta)
+	}
+	if pa.IPC-none.IPC != pa.IPCDelta {
+		t.Errorf("pa IPC delta inconsistent: %g vs %g-%g", pa.IPCDelta, pa.IPC, none.IPC)
+	}
+	if none.Filtered != 0 {
+		t.Errorf("unfiltered run reports %d filtered prefetches", none.Filtered)
+	}
+	if pa.Accuracy < 0 || pa.Accuracy > 1 || pa.Coverage < 0 || pa.Coverage > 1 {
+		t.Errorf("derived metrics out of range: %+v", *pa)
 	}
 }

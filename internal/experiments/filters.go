@@ -1,0 +1,133 @@
+// The filters experiment: the pollution-filter zoo head to head. Every
+// registered backend (internal/filter) runs over the benchmark suite on
+// the default machine, against the unfiltered baseline, and the result is
+// the per-(benchmark, backend) comparison table — classification counts,
+// accuracy, coverage, and IPC delta. This is the evaluation pipeline the
+// pluggable registry exists for: same machine, same training signal, only
+// the prediction structure differs.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "filters",
+		Title: "Pollution-filter backends head to head (internal/filter zoo)",
+		Run: func(p *Params) (*Table, error) {
+			rows, err := p.FilterComparison(context.Background(), filter.Sweepable(), 0)
+			if err != nil {
+				return nil, err
+			}
+			return report.FilterComparison("Filter backends head to head (default machine)", rows), nil
+		},
+	})
+}
+
+// filterConfig maps a backend kind onto the simulation config that runs
+// it on the default machine.
+func filterConfig(kind string) config.Config {
+	return config.Default().WithFilter(config.FilterKind(kind))
+}
+
+// comparisonRow derives the head-to-head metrics for one finished run.
+// Coverage counts the demand misses prefetching hid relative to the
+// misses that remain: good / (good + L1 demand misses).
+func comparisonRow(bench, kind string, r, base stats.Run) report.FilterComparisonRow {
+	cov := 0.0
+	if denom := r.Prefetches.Good + r.L1DemandMisses; denom > 0 {
+		cov = float64(r.Prefetches.Good) / float64(denom)
+	}
+	return report.FilterComparisonRow{
+		Benchmark: bench,
+		Filter:    kind,
+		Good:      r.Prefetches.Good,
+		Bad:       r.Prefetches.Bad,
+		Filtered:  r.Prefetches.Filtered,
+		Accuracy:  r.Prefetches.GoodFraction(),
+		Coverage:  cov,
+		IPC:       r.IPC(),
+		IPCDelta:  r.IPC() - base.IPC(),
+	}
+}
+
+// FilterComparison runs every (benchmark × backend) cell — plus the
+// unfiltered baseline each IPC delta needs — on the work-stealing
+// scheduler and returns the sorted comparison rows. Kinds must name
+// registered, sweepable backends; unknown kinds report the registry's
+// alternatives. Workers <= 0 selects GOMAXPROCS.
+func (p *Params) FilterComparison(ctx context.Context, kinds []string, workers int) ([]report.FilterComparisonRow, error) {
+	if len(kinds) == 0 {
+		kinds = filter.Sweepable()
+	}
+	for _, k := range kinds {
+		kind := config.FilterKind(k)
+		if kind.Canonical() == config.FilterStatic {
+			return nil, fmt.Errorf("experiments: the static filter needs a profiling run and cannot join the sweep")
+		}
+		if !filter.Registered(kind) {
+			return nil, fmt.Errorf("experiments: unknown filter kind %q (registered: %v)", k, filter.Kinds())
+		}
+	}
+	// The baseline is a cell like any other; dedup in case the caller
+	// asked for it explicitly.
+	sweep := make([]string, 0, len(kinds)+1)
+	seen := map[string]bool{}
+	for _, k := range append([]string{string(config.FilterNone)}, kinds...) {
+		canon := string(config.FilterKind(k).Canonical())
+		if !seen[canon] {
+			seen[canon] = true
+			sweep = append(sweep, canon)
+		}
+	}
+
+	cost := p.costModel()
+	var jobs []sched.Job
+	for _, bench := range p.benchmarks() {
+		bench := bench
+		for _, kind := range sweep {
+			kind := kind
+			jobs = append(jobs, sched.Job{
+				Key:  bench + "|" + kind,
+				Cost: cost(bench),
+				Run: func(ctx context.Context) (any, error) {
+					return p.runCtx(ctx, bench, filterConfig(kind))
+				},
+			})
+		}
+	}
+	results, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: workers, Metrics: p.Metrics})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, dedupJoin(errs)
+	}
+
+	var rows []report.FilterComparisonRow
+	for _, bench := range p.benchmarks() {
+		base := results[bench+"|"+string(config.FilterNone)].Value.(stats.Run)
+		for _, kind := range sweep {
+			r := results[bench+"|"+kind].Value.(stats.Run)
+			rows = append(rows, comparisonRow(bench, kind, r, base))
+		}
+	}
+	report.SortFilterComparison(rows)
+	return rows, nil
+}

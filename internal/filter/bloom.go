@@ -1,0 +1,186 @@
+// Counting-Bloom rejection filter. Bad evictions insert the prefetched
+// line address into a counting Bloom filter; a candidate whose every
+// probe sits at or above the reject threshold is predicted bad and
+// dropped. Good evictions remove the address again (counting Bloom
+// deletion), and a periodic decay halves every counter so stale
+// rejections age out after the working set moves — the failure mode the
+// paper's purely absorbing table exhibits in the adaptivity experiment.
+
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Bloom defaults.
+const (
+	defaultBloomEntries = 4096
+	defaultBloomHashes  = 2
+	defaultBloomReject  = 2
+	defaultBloomDecay   = 8192
+	bloomCounterMax     = 15 // 4-bit counters
+)
+
+// bloomMix holds distinct odd multipliers, one per probe.
+var bloomMix = [8]uint64{
+	0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9, 0x27d4eb2f165667c5,
+	0x85ebca6b0f4a7c15, 0xcc9e2d51165667b1,
+	0x9e3779b185ebca6b, 0xc2b2ae35cc9e2d51,
+}
+
+// Bloom is the counting-Bloom rejection backend.
+type Bloom struct {
+	counters []uint8
+	shift    uint
+	hashes   int
+	reject   uint8
+	decay    uint64 // trainings between halvings; 0 disables
+	training uint64
+	stats    core.Stats
+
+	// Decays counts decay sweeps performed.
+	Decays uint64
+}
+
+// NewBloom builds a counting-Bloom filter. Zero parameters select the
+// defaults; decay < 0 disables aging.
+func NewBloom(entries, hashes, reject, decay int) (*Bloom, error) {
+	if entries == 0 {
+		entries = defaultBloomEntries
+	}
+	if hashes == 0 {
+		hashes = defaultBloomHashes
+	}
+	if reject == 0 {
+		reject = defaultBloomReject
+	}
+	if decay == 0 {
+		decay = defaultBloomDecay
+	}
+	if entries < 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("filter: bloom entries must be a positive power of two, got %d", entries)
+	}
+	if hashes < 1 || hashes > len(bloomMix) {
+		return nil, fmt.Errorf("filter: bloom hashes must be in [1,%d], got %d", len(bloomMix), hashes)
+	}
+	if reject < 1 || reject > bloomCounterMax {
+		return nil, fmt.Errorf("filter: bloom reject threshold must be in [1,%d], got %d", bloomCounterMax, reject)
+	}
+	b := &Bloom{
+		counters: make([]uint8, entries),
+		hashes:   hashes,
+		reject:   uint8(reject),
+	}
+	if decay > 0 {
+		b.decay = uint64(decay)
+	}
+	bits := uint(0)
+	for v := entries; v > 1; v >>= 1 {
+		bits++
+	}
+	b.shift = 64 - bits
+	return b, nil
+}
+
+// probe returns the i-th counter index for a line address.
+func (b *Bloom) probe(lineAddr uint64, i int) uint64 {
+	return ((lineAddr ^ (lineAddr >> 17)) * bloomMix[i]) >> b.shift
+}
+
+// Predict reports the current decision for req without touching stats:
+// reject only when every probe is at or above the threshold.
+func (b *Bloom) Predict(req core.Request) bool {
+	for i := 0; i < b.hashes; i++ {
+		if b.counters[b.probe(req.LineAddr, i)] < b.reject {
+			return true
+		}
+	}
+	return false
+}
+
+// Allow implements core.Filter. An empty filter allows everything, so
+// first-touch prefetches always issue.
+func (b *Bloom) Allow(req core.Request) bool {
+	b.stats.Queries++
+	if b.Predict(req) {
+		return true
+	}
+	b.stats.Rejected++
+	return false
+}
+
+// Train implements core.Filter: bad evictions insert, good evictions
+// remove, and every decay interval halves all counters.
+func (b *Bloom) Train(fb core.Feedback) {
+	if fb.Referenced {
+		b.stats.TrainGood++
+	} else {
+		b.stats.TrainBad++
+	}
+	for i := 0; i < b.hashes; i++ {
+		idx := b.probe(fb.LineAddr, i)
+		c := b.counters[idx]
+		if fb.Referenced {
+			if c > 0 {
+				b.counters[idx] = c - 1
+			}
+		} else if c < bloomCounterMax {
+			b.counters[idx] = c + 1
+		}
+	}
+	b.training++
+	if b.decay > 0 && b.training%b.decay == 0 {
+		b.Decays++
+		for i, c := range b.counters {
+			b.counters[i] = c >> 1
+		}
+	}
+}
+
+// Name implements core.Filter.
+func (b *Bloom) Name() string { return "bloom" }
+
+// Stats implements core.Filter.
+func (b *Bloom) Stats() core.Stats { return b.stats }
+
+// ResetStats zeroes the activity counters while keeping the Bloom state
+// warm (warmup boundary). The training tick keeps running so decay
+// cadence is unaffected by measurement boundaries.
+func (b *Bloom) ResetStats() {
+	b.stats = core.Stats{}
+	b.Decays = 0
+}
+
+// Entries returns the counter array length.
+func (b *Bloom) Entries() int { return len(b.counters) }
+
+// SizeBytes returns the storage cost: 4 bits per counter.
+func (b *Bloom) SizeBytes() int { return len(b.counters) / 2 }
+
+// Occupancy returns how many counters are currently non-zero.
+func (b *Bloom) Occupancy() int {
+	n := 0
+	for _, c := range b.counters {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DumpMetrics implements core.MetricsDumper.
+func (b *Bloom) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".queries").Set(b.stats.Queries)
+	reg.Counter(prefix + ".rejected").Set(b.stats.Rejected)
+	reg.Counter(prefix + ".train_good").Set(b.stats.TrainGood)
+	reg.Counter(prefix + ".train_bad").Set(b.stats.TrainBad)
+	reg.Counter(prefix + ".decays").Set(b.Decays)
+	reg.Counter(prefix + ".occupancy").Set(uint64(b.Occupancy()))
+}

@@ -1,0 +1,188 @@
+// Hashed-perceptron pollution filter, after "Data Cache Prefetching with
+// Perceptron Learning" (arXiv:1712.00905) and the perceptron branch
+// predictor it descends from. Each prefetch hashes a small set of
+// features into per-feature weight tables; the sign of the summed
+// weights is the prediction, and eviction-time feedback trains every
+// contributing weight with the classic thresholded perceptron rule.
+
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Perceptron defaults.
+const (
+	defaultPerceptronEntries = 1024
+	defaultPerceptronTheta   = 8
+	// Weight saturation bounds: 6-bit signed weights.
+	weightMin = -32
+	weightMax = 31
+	// perceptronFeatures is the fixed feature count (see features()).
+	perceptronFeatures = 4
+)
+
+// Feature-mixing multipliers: distinct odd constants so the same key
+// lands on uncorrelated rows of each table (Fibonacci hashing family).
+var featureMix = [perceptronFeatures]uint64{
+	0x9e3779b97f4a7c15,
+	0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9,
+	0x27d4eb2f165667c5,
+}
+
+// Perceptron is the hashed-perceptron backend: one weight table per
+// feature, summed at predict time.
+type Perceptron struct {
+	tables [perceptronFeatures][]int8
+	shift  uint
+	theta  int32
+	stats  core.Stats
+
+	// TrainUpdates counts trainings that actually moved weights (the
+	// thresholded rule skips confidently-correct predictions).
+	TrainUpdates uint64
+}
+
+// NewPerceptron builds a perceptron filter with the given per-feature
+// table size and training threshold; zero selects the defaults.
+func NewPerceptron(entries, theta int) (*Perceptron, error) {
+	if entries == 0 {
+		entries = defaultPerceptronEntries
+	}
+	if theta == 0 {
+		theta = defaultPerceptronTheta
+	}
+	if entries < 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("filter: perceptron entries must be a positive power of two, got %d", entries)
+	}
+	if theta < 0 {
+		return nil, fmt.Errorf("filter: perceptron theta must be non-negative, got %d", theta)
+	}
+	p := &Perceptron{theta: int32(theta)}
+	bits := uint(0)
+	for v := entries; v > 1; v >>= 1 {
+		bits++
+	}
+	p.shift = 64 - bits
+	for i := range p.tables {
+		p.tables[i] = make([]int8, entries)
+	}
+	return p, nil
+}
+
+// features derives the per-table row indices for one prefetch identity.
+// The feature set is the one the issue/related work names: the line
+// address (exact and region-granular), the trigger PC, and the
+// prefetcher id folded with PC and address.
+func (p *Perceptron) features(lineAddr, triggerPC uint64, src core.Source) (idx [perceptronFeatures]uint64) {
+	pc := triggerPC >> 2
+	raw := [perceptronFeatures]uint64{
+		lineAddr,
+		lineAddr >> 6,
+		pc,
+		pc ^ lineAddr ^ (uint64(src) << 40),
+	}
+	for i, r := range raw {
+		idx[i] = (r * featureMix[i]) >> p.shift
+	}
+	return idx
+}
+
+// sum returns the weight sum for the given feature rows.
+func (p *Perceptron) sum(idx [perceptronFeatures]uint64) int32 {
+	var s int32
+	for i := range p.tables {
+		s += int32(p.tables[i][idx[i]])
+	}
+	return s
+}
+
+// Predict reports the current decision for req without touching stats.
+func (p *Perceptron) Predict(req core.Request) bool {
+	return p.sum(p.features(req.LineAddr, req.TriggerPC, req.Source)) >= 0
+}
+
+// Allow implements core.Filter: allow iff the weight sum is
+// non-negative. Untrained weights sum to zero, so first-touch prefetches
+// issue — the same weakly-good initial stance as the paper's table.
+func (p *Perceptron) Allow(req core.Request) bool {
+	p.stats.Queries++
+	if p.Predict(req) {
+		return true
+	}
+	p.stats.Rejected++
+	return false
+}
+
+// Train implements core.Filter with the thresholded perceptron rule:
+// update only when the prediction disagreed with the outcome or the
+// confidence |sum| was at or below theta.
+func (p *Perceptron) Train(fb core.Feedback) {
+	if fb.Referenced {
+		p.stats.TrainGood++
+	} else {
+		p.stats.TrainBad++
+	}
+	idx := p.features(fb.LineAddr, fb.TriggerPC, fb.Source)
+	s := p.sum(idx)
+	predictedGood := s >= 0
+	if predictedGood == fb.Referenced && abs32(s) > p.theta {
+		return
+	}
+	p.TrainUpdates++
+	for i := range p.tables {
+		w := p.tables[i][idx[i]]
+		if fb.Referenced {
+			if w < weightMax {
+				w++
+			}
+		} else if w > weightMin {
+			w--
+		}
+		p.tables[i][idx[i]] = w
+	}
+}
+
+// Name implements core.Filter.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// Stats implements core.Filter.
+func (p *Perceptron) Stats() core.Stats { return p.stats }
+
+// ResetStats zeroes the activity counters while keeping the learned
+// weights warm (warmup boundary).
+func (p *Perceptron) ResetStats() {
+	p.stats = core.Stats{}
+	p.TrainUpdates = 0
+}
+
+// Entries returns the per-feature table length.
+func (p *Perceptron) Entries() int { return len(p.tables[0]) }
+
+// SizeBytes returns the storage cost: 6-bit weights packed, per feature.
+func (p *Perceptron) SizeBytes() int {
+	return perceptronFeatures * len(p.tables[0]) * 6 / 8
+}
+
+// DumpMetrics implements core.MetricsDumper.
+func (p *Perceptron) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".queries").Set(p.stats.Queries)
+	reg.Counter(prefix + ".rejected").Set(p.stats.Rejected)
+	reg.Counter(prefix + ".train_good").Set(p.stats.TrainGood)
+	reg.Counter(prefix + ".train_bad").Set(p.stats.TrainBad)
+	reg.Counter(prefix + ".train_updates").Set(p.TrainUpdates)
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+// Tournament selector: set-duelling between two backends with a PSEL
+// counter, the mechanism dynamic cache-insertion policies (DIP/DRRIP)
+// use to pick a policy at runtime. A small sampled set of keys always
+// uses backend A ("leader A" keys), another always uses backend B, and
+// everyone else follows whichever side the PSEL counter currently
+// favours. Eviction feedback on leader keys moves the PSEL toward the
+// side whose prediction matched the outcome; both backends train on all
+// feedback so the loser stays warm and can win later phases.
+
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Tournament defaults.
+const (
+	defaultPselBits = 10
+	// duelBuckets partitions the key space; the first leaderBuckets
+	// buckets lead for A, the next leaderBuckets for B.
+	duelBuckets   = 64
+	leaderBuckets = 4
+)
+
+// Tournament is the set-duelling backend selector.
+type Tournament struct {
+	a, b     core.Filter
+	ap, bp   Predictor
+	psel     uint32
+	pselMax  uint32
+	pselInit uint32
+	stats    core.Stats
+
+	// AWins/BWins count leader-key feedback events where exactly one
+	// side predicted the outcome correctly (PSEL movements).
+	AWins uint64
+	BWins uint64
+}
+
+// NewTournament duels backends a and b. Both must implement Predictor
+// (a side-effect-free probe); pselBits sizes the selector counter.
+func NewTournament(a, b core.Filter, pselBits int) (*Tournament, error) {
+	if pselBits == 0 {
+		pselBits = defaultPselBits
+	}
+	if pselBits < 1 || pselBits > 20 {
+		return nil, fmt.Errorf("filter: tournament PSEL bits must be in [1,20], got %d", pselBits)
+	}
+	ap, okA := a.(Predictor)
+	bp, okB := b.(Predictor)
+	if !okA || !okB {
+		return nil, fmt.Errorf("filter: tournament sides must implement Predict (got %T, %T)", a, b)
+	}
+	max := uint32(1)<<uint(pselBits) - 1
+	mid := uint32(1) << uint(pselBits-1)
+	return &Tournament{a: a, b: b, ap: ap, bp: bp, psel: mid, pselMax: max, pselInit: mid}, nil
+}
+
+// newTournamentFromConfig resolves the two duelling sides from the
+// registry. The sides inherit the table/perceptron/bloom parameters of
+// the same FilterConfig, so a tournament of "pa" vs "perceptron" duels
+// exactly the backends those kinds would build standalone.
+func newTournamentFromConfig(cfg config.FilterConfig) (core.Filter, error) {
+	kindA := cfg.TournamentA
+	if kindA == "" {
+		kindA = config.FilterPA
+	}
+	kindB := cfg.TournamentB
+	if kindB == "" {
+		kindB = config.FilterPerceptron
+	}
+	side := func(kind config.FilterKind) (core.Filter, error) {
+		sideCfg := cfg
+		sideCfg.Kind = kind
+		sideCfg.TournamentA, sideCfg.TournamentB = "", ""
+		return New(sideCfg)
+	}
+	a, err := side(kindA)
+	if err != nil {
+		return nil, fmt.Errorf("filter: tournament side A: %w", err)
+	}
+	b, err := side(kindB)
+	if err != nil {
+		return nil, fmt.Errorf("filter: tournament side B: %w", err)
+	}
+	return NewTournament(a, b, cfg.TournamentPselBits)
+}
+
+// duelBucket maps a line address onto its duel bucket.
+func duelBucket(lineAddr uint64) uint64 {
+	return ((lineAddr ^ (lineAddr >> 13)) * 0x9e3779b97f4a7c15) >> 58 % duelBuckets
+}
+
+// decide returns the active side's prediction for req.
+func (t *Tournament) decide(req core.Request) bool {
+	switch bucket := duelBucket(req.LineAddr); {
+	case bucket < leaderBuckets:
+		return t.ap.Predict(req)
+	case bucket < 2*leaderBuckets:
+		return t.bp.Predict(req)
+	case t.psel >= t.pselInit:
+		// High PSEL favours A (leader-A wins increment).
+		return t.ap.Predict(req)
+	default:
+		return t.bp.Predict(req)
+	}
+}
+
+// Predict reports the current decision for req without touching stats.
+func (t *Tournament) Predict(req core.Request) bool { return t.decide(req) }
+
+// Allow implements core.Filter.
+func (t *Tournament) Allow(req core.Request) bool {
+	t.stats.Queries++
+	if t.decide(req) {
+		return true
+	}
+	t.stats.Rejected++
+	return false
+}
+
+// Train implements core.Filter: score the duel on leader keys before
+// training, then train both sides on the shared feedback.
+func (t *Tournament) Train(fb core.Feedback) {
+	if fb.Referenced {
+		t.stats.TrainGood++
+	} else {
+		t.stats.TrainBad++
+	}
+	if bucket := duelBucket(fb.LineAddr); bucket < 2*leaderBuckets {
+		req := core.Request{LineAddr: fb.LineAddr, TriggerPC: fb.TriggerPC, Source: fb.Source}
+		aRight := t.ap.Predict(req) == fb.Referenced
+		bRight := t.bp.Predict(req) == fb.Referenced
+		if aRight && !bRight {
+			t.AWins++
+			if t.psel < t.pselMax {
+				t.psel++
+			}
+		} else if bRight && !aRight {
+			t.BWins++
+			if t.psel > 0 {
+				t.psel--
+			}
+		}
+	}
+	t.a.Train(fb)
+	t.b.Train(fb)
+}
+
+// Name implements core.Filter.
+func (t *Tournament) Name() string {
+	return "tournament(" + t.a.Name() + "," + t.b.Name() + ")"
+}
+
+// Stats implements core.Filter.
+func (t *Tournament) Stats() core.Stats { return t.stats }
+
+// ResetStats zeroes activity counters on both sides while keeping all
+// learned state — including the PSEL — warm (warmup boundary).
+func (t *Tournament) ResetStats() {
+	t.stats = core.Stats{}
+	t.AWins, t.BWins = 0, 0
+	if r, ok := t.a.(interface{ ResetStats() }); ok {
+		r.ResetStats()
+	}
+	if r, ok := t.b.(interface{ ResetStats() }); ok {
+		r.ResetStats()
+	}
+}
+
+// PSEL exposes the selector counter (introspection and tests).
+func (t *Tournament) PSEL() (value, max uint32) { return t.psel, t.pselMax }
+
+// Sides exposes the duelling backends.
+func (t *Tournament) Sides() (a, b core.Filter) { return t.a, t.b }
+
+// DumpMetrics implements core.MetricsDumper, nesting each side's state.
+func (t *Tournament) DumpMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".queries").Set(t.stats.Queries)
+	reg.Counter(prefix + ".rejected").Set(t.stats.Rejected)
+	reg.Counter(prefix + ".train_good").Set(t.stats.TrainGood)
+	reg.Counter(prefix + ".train_bad").Set(t.stats.TrainBad)
+	reg.Counter(prefix + ".psel").Set(uint64(t.psel))
+	reg.Counter(prefix + ".a_wins").Set(t.AWins)
+	reg.Counter(prefix + ".b_wins").Set(t.BWins)
+	if d, ok := t.a.(core.MetricsDumper); ok {
+		d.DumpMetrics(reg, prefix+".a")
+	}
+	if d, ok := t.b.(core.MetricsDumper); ok {
+		d.DumpMetrics(reg, prefix+".b")
+	}
+}

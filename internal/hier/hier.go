@@ -348,6 +348,7 @@ func (h *Hierarchy) classifyEvicted(line cache.Line) {
 		LineAddr:   line.Tag,
 		TriggerPC:  line.TriggerPC,
 		Referenced: line.RIB,
+		Source:     core.Source(line.PFSource),
 	})
 	if h.Tax != nil {
 		h.Tax.OnEvict(line.Tag)
@@ -510,6 +511,7 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 		line.RIB = true
 		line.TriggerPC = f.triggerPC
 		line.SoftPF = f.software
+		line.PFSource = uint8(core.SourceByName(f.source))
 		if isStore {
 			line.Dirty = true
 		}
@@ -538,6 +540,7 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 				LineAddr:   entry.LineAddr,
 				TriggerPC:  entry.TriggerPC,
 				Referenced: true,
+				Source:     core.Source(entry.Source),
 			})
 			installed, _, _ := h.fillL1(lineAddr, false)
 			if isStore {
@@ -640,7 +643,7 @@ func (h *Hierarchy) submit(now uint64, c prefetch.Candidate) {
 		return
 	}
 
-	if !h.Filter.Allow(core.Request{LineAddr: c.LineAddr, TriggerPC: c.TriggerPC, Software: c.Software}) {
+	if !h.Filter.Allow(core.Request{LineAddr: c.LineAddr, TriggerPC: c.TriggerPC, Software: c.Software, Source: core.SourceByName(c.Source)}) {
 		h.filtered(now, c)
 		return
 	}
@@ -743,6 +746,7 @@ func (h *Hierarchy) Tick(now uint64) {
 				LineAddr:   f.lineAddr,
 				TriggerPC:  f.triggerPC,
 				Referenced: false,
+				Source:     core.SourceByName(f.source),
 			})
 			continue
 		}
@@ -752,7 +756,7 @@ func (h *Hierarchy) Tick(now uint64) {
 		}
 		h.m.pfFills.Inc()
 		if h.Buffer != nil {
-			evicted, hadEvict := h.Buffer.Insert(f.lineAddr, f.triggerPC, f.software)
+			evicted, hadEvict := h.Buffer.Insert(f.lineAddr, f.triggerPC, f.software, uint8(core.SourceByName(f.source)))
 			if hadEvict {
 				if evicted.Referenced {
 					h.Pf.Good++
@@ -769,6 +773,7 @@ func (h *Hierarchy) Tick(now uint64) {
 					LineAddr:   evicted.LineAddr,
 					TriggerPC:  evicted.TriggerPC,
 					Referenced: evicted.Referenced,
+					Source:     core.Source(evicted.Source),
 				})
 			}
 			continue
@@ -781,6 +786,7 @@ func (h *Hierarchy) Tick(now uint64) {
 		line.RIB = false
 		line.TriggerPC = f.triggerPC
 		line.SoftPF = f.software
+		line.PFSource = uint8(core.SourceByName(f.source))
 	}
 }
 

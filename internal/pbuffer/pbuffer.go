@@ -20,6 +20,7 @@ type Entry struct {
 	LineAddr   uint64
 	TriggerPC  uint64
 	Software   bool
+	Source     uint8 // generator id of the prefetch (core.Source)
 	Referenced bool
 	lru        uint64
 }
@@ -90,7 +91,7 @@ func (b *Buffer) Probe(lineAddr uint64) (Entry, bool) {
 // Insert allocates a prefetched line, evicting the LRU entry if full. The
 // evicted entry (if any) is returned for filter training. Inserting an
 // already-resident line refreshes its recency and reports no eviction.
-func (b *Buffer) Insert(lineAddr, triggerPC uint64, software bool) (evicted Entry, hadEviction bool) {
+func (b *Buffer) Insert(lineAddr, triggerPC uint64, software bool, source uint8) (evicted Entry, hadEviction bool) {
 	b.tick++
 	slot := -1
 	for i := range b.entries {
@@ -126,6 +127,7 @@ func (b *Buffer) Insert(lineAddr, triggerPC uint64, software bool) (evicted Entr
 		LineAddr:  lineAddr,
 		TriggerPC: triggerPC,
 		Software:  software,
+		Source:    source,
 		lru:       b.tick,
 	}
 	b.Fills++

@@ -17,7 +17,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestInsertProbePromote(t *testing.T) {
 	b, _ := New(4)
-	b.Insert(100, 0x400000, false)
+	b.Insert(100, 0x400000, false, 0)
 	if !b.Contains(100) {
 		t.Fatal("inserted line should be resident")
 	}
@@ -46,11 +46,11 @@ func TestProbeMiss(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	b, _ := New(2)
-	b.Insert(1, 0, false)
-	b.Insert(2, 0, false)
+	b.Insert(1, 0, false, 0)
+	b.Insert(2, 0, false, 0)
 	// Refresh 1 via duplicate insert: 2 becomes LRU.
-	b.Insert(1, 0, false)
-	evicted, had := b.Insert(3, 0, false)
+	b.Insert(1, 0, false, 0)
+	evicted, had := b.Insert(3, 0, false, 0)
 	if !had || evicted.LineAddr != 2 {
 		t.Fatalf("expected eviction of 2, got %+v had=%v", evicted, had)
 	}
@@ -61,8 +61,8 @@ func TestLRUEviction(t *testing.T) {
 
 func TestDuplicateInsertNoEvict(t *testing.T) {
 	b, _ := New(2)
-	b.Insert(5, 0, false)
-	if _, had := b.Insert(5, 0, false); had {
+	b.Insert(5, 0, false, 0)
+	if _, had := b.Insert(5, 0, false, 0); had {
 		t.Fatal("duplicate insert must not evict")
 	}
 	if b.ValidEntries() != 1 {
@@ -72,9 +72,9 @@ func TestDuplicateInsertNoEvict(t *testing.T) {
 
 func TestFillsCounting(t *testing.T) {
 	b, _ := New(4)
-	b.Insert(1, 0, true)
-	b.Insert(2, 0, false)
-	b.Insert(1, 0, false) // duplicate refresh still counts nothing new? It counts Fills.
+	b.Insert(1, 0, true, 0)
+	b.Insert(2, 0, false, 0)
+	b.Insert(1, 0, false, 0) // duplicate refresh still counts nothing new? It counts Fills.
 	if b.Fills != 2 {
 		t.Fatalf("fills = %d (duplicates refresh recency without a new fill)", b.Fills)
 	}
@@ -82,10 +82,10 @@ func TestFillsCounting(t *testing.T) {
 
 func TestDrain(t *testing.T) {
 	b, _ := New(4)
-	b.Insert(1, 0, false)
-	b.Insert(2, 0, false)
+	b.Insert(1, 0, false, 0)
+	b.Insert(2, 0, false, 0)
 	b.Probe(1) // promote 1 away
-	b.Insert(3, 0, true)
+	b.Insert(3, 0, true, 0)
 	out := b.Drain()
 	if len(out) != 2 {
 		t.Fatalf("drained %d entries", len(out))
@@ -108,7 +108,7 @@ func TestDrain(t *testing.T) {
 func TestCapacityBound(t *testing.T) {
 	b, _ := New(3)
 	for la := uint64(0); la < 100; la++ {
-		b.Insert(la, 0, false)
+		b.Insert(la, 0, false, 0)
 		if b.ValidEntries() > 3 {
 			t.Fatalf("buffer exceeded capacity at %d", la)
 		}

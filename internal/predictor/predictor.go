@@ -53,38 +53,82 @@ func (c SatCounter) Update(taken bool) SatCounter {
 // Valid reports whether the counter holds a representable 2-bit value.
 func (c SatCounter) Valid() bool { return c <= counterMax }
 
+// CounterTable is the shared table-of-2-bit-counters fabric: a
+// power-of-two array of SatCounters behind an index mask. The bimodal
+// branch predictor and the pollution filter's history table are both
+// instantiations of this one structure (the paper's filter deliberately
+// reuses branch-predictor hardware idioms, and so does the code).
+type CounterTable struct {
+	counters []SatCounter
+	mask     uint64
+}
+
+// NewCounterTable allocates a table with the given power-of-two entry
+// count, every counter starting at initial.
+func NewCounterTable(entries int, initial SatCounter) (*CounterTable, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("predictor: counter table entries must be a positive power of two, got %d", entries)
+	}
+	if !initial.Valid() {
+		return nil, fmt.Errorf("predictor: initial counter must be a 2-bit value, got %d", initial)
+	}
+	t := &CounterTable{counters: make([]SatCounter, entries), mask: uint64(entries - 1)}
+	for i := range t.counters {
+		t.counters[i] = initial
+	}
+	return t, nil
+}
+
+// Mask returns the index mask (entries - 1).
+func (t *CounterTable) Mask() uint64 { return t.mask }
+
+// At returns the counter at idx (masked).
+func (t *CounterTable) At(idx uint64) SatCounter { return t.counters[idx&t.mask] }
+
+// Update trains the counter at idx (masked) toward the outcome.
+func (t *CounterTable) Update(idx uint64, up bool) {
+	i := idx & t.mask
+	t.counters[i] = t.counters[i].Update(up)
+}
+
+// Len returns the table length.
+func (t *CounterTable) Len() int { return len(t.counters) }
+
+// Distribution returns how many entries sit at each 2-bit counter value.
+func (t *CounterTable) Distribution() (dist [4]int) {
+	for _, c := range t.counters {
+		dist[c&3]++
+	}
+	return dist
+}
+
 // Bimodal is a PC-indexed table of 2-bit counters.
 type Bimodal struct {
-	table []SatCounter
-	mask  uint64
+	table *CounterTable
 }
 
 // NewBimodal allocates a predictor with the given power-of-two entry count.
 // Counters start weakly taken, the usual reset state for loop-heavy code.
 func NewBimodal(entries int) (*Bimodal, error) {
-	if entries <= 0 || entries&(entries-1) != 0 {
-		return nil, fmt.Errorf("predictor: bimodal entries must be a positive power of two, got %d", entries)
+	t, err := NewCounterTable(entries, WeakTaken)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: bimodal: %w", err)
 	}
-	b := &Bimodal{table: make([]SatCounter, entries), mask: uint64(entries - 1)}
-	for i := range b.table {
-		b.table[i] = WeakTaken
-	}
-	return b, nil
+	return &Bimodal{table: t}, nil
 }
 
-func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+func (b *Bimodal) index(pc uint64) uint64 { return pc >> 2 }
 
 // Predict returns the predicted direction for the branch at pc.
-func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].Taken() }
+func (b *Bimodal) Predict(pc uint64) bool { return b.table.At(b.index(pc)).Taken() }
 
 // Update trains the counter for pc toward the resolved direction.
 func (b *Bimodal) Update(pc uint64, taken bool) {
-	i := b.index(pc)
-	b.table[i] = b.table[i].Update(taken)
+	b.table.Update(b.index(pc), taken)
 }
 
 // Entries returns the table length.
-func (b *Bimodal) Entries() int { return len(b.table) }
+func (b *Bimodal) Entries() int { return b.table.Len() }
 
 // btbEntry is one BTB way: a tag and the cached target.
 type btbEntry struct {

@@ -300,3 +300,158 @@ func TestCorrelationLRUWithinSet(t *testing.T) {
 		t.Fatalf("refreshed entry should survive: %+v", out)
 	}
 }
+
+// --- RPT state machine ---
+
+// observeState drives one access and returns the entry's state for PC.
+func rptStateOf(s *Stride, pc uint64) rptState {
+	return s.entries[(pc>>2)&s.mask].state
+}
+
+func TestStrideRPTStateTransitions(t *testing.T) {
+	s, _ := NewStride(64)
+	pc := uint64(0x400000)
+	var out []Candidate
+
+	// First touch allocates in initial state, no prediction.
+	s.Observe(Event{PC: pc, LineAddr: 100}, collect(&out))
+	if got := rptStateOf(s, pc); got != rptInitial {
+		t.Fatalf("after first touch: state = %d, want initial", got)
+	}
+	// A first (non-zero) stride observation: initial -> transient.
+	s.Observe(Event{PC: pc, LineAddr: 104}, collect(&out))
+	if got := rptStateOf(s, pc); got != rptTransient {
+		t.Fatalf("after new stride: state = %d, want transient", got)
+	}
+	// The stride repeats: transient -> steady, and prediction starts.
+	s.Observe(Event{PC: pc, LineAddr: 108}, collect(&out))
+	if got := rptStateOf(s, pc); got != rptSteady {
+		t.Fatalf("after confirmation: state = %d, want steady", got)
+	}
+	if len(out) != 1 || out[0].LineAddr != 112 || out[0].Source != "stride" {
+		t.Fatalf("steady entry should prefetch 112 tagged stride: %+v", out)
+	}
+	// A mismatch in steady drops back to initial (not straight to noPred).
+	s.Observe(Event{PC: pc, LineAddr: 200}, collect(&out))
+	if got := rptStateOf(s, pc); got != rptInitial {
+		t.Fatalf("steady mismatch: state = %d, want initial", got)
+	}
+}
+
+func TestStrideRPTNoPredAndRecovery(t *testing.T) {
+	s, _ := NewStride(64)
+	pc := uint64(0x400000)
+	var out []Candidate
+	// Two successive mismatching strides: initial -> transient -> noPred.
+	s.Observe(Event{PC: pc, LineAddr: 100}, collect(&out))
+	s.Observe(Event{PC: pc, LineAddr: 110}, collect(&out)) // stride 10, transient
+	s.Observe(Event{PC: pc, LineAddr: 113}, collect(&out)) // stride 3, noPred
+	if got := rptStateOf(s, pc); got != rptNoPred {
+		t.Fatalf("after two mismatches: state = %d, want noPred", got)
+	}
+	if len(out) != 0 {
+		t.Fatalf("noPred must not prefetch: %+v", out)
+	}
+	// The new stride repeating climbs back: noPred -> transient -> steady.
+	s.Observe(Event{PC: pc, LineAddr: 116}, collect(&out)) // stride 3 matches
+	if got := rptStateOf(s, pc); got != rptTransient {
+		t.Fatalf("noPred recovery: state = %d, want transient", got)
+	}
+	s.Observe(Event{PC: pc, LineAddr: 119}, collect(&out))
+	if got := rptStateOf(s, pc); got != rptSteady {
+		t.Fatalf("second match: state = %d, want steady", got)
+	}
+	if len(out) != 1 || out[0].LineAddr != 122 {
+		t.Fatalf("recovered entry should predict 122: %+v", out)
+	}
+}
+
+func TestStrideRPTTagMismatchReallocates(t *testing.T) {
+	s, _ := NewStride(64)
+	var out []Candidate
+	pcA := uint64(0x400000)
+	pcB := pcA + (64 << 2 << 12) // same index bits, different tag
+	for i := uint64(0); i < 3; i++ {
+		s.Observe(Event{PC: pcA, LineAddr: 100 + i*4}, collect(&out))
+	}
+	if got := rptStateOf(s, pcA); got != rptSteady {
+		t.Fatalf("pcA should be steady, got %d", got)
+	}
+	// pcB collides on the index but not the tag: the entry reallocates
+	// fresh (initial state) instead of training on pcA's history.
+	s.Observe(Event{PC: pcB, LineAddr: 5000}, collect(&out))
+	if got := rptStateOf(s, pcB); got != rptInitial {
+		t.Fatalf("tag mismatch must reallocate to initial, got %d", got)
+	}
+	before := len(out)
+	s.Observe(Event{PC: pcB, LineAddr: 5004}, collect(&out))
+	if len(out) != before {
+		t.Fatal("reallocated entry must not predict from stale stride")
+	}
+}
+
+func TestStrideNegativeNextGuard(t *testing.T) {
+	s, _ := NewStride(64)
+	var out []Candidate
+	pc := uint64(0x400000)
+	// Descending stride larger than the address: next would go negative.
+	for _, la := range []uint64{30, 20, 10} {
+		s.Observe(Event{PC: pc, LineAddr: la}, collect(&out))
+	}
+	if got := rptStateOf(s, pc); got != rptSteady {
+		t.Fatalf("descending stride should reach steady, got %d", got)
+	}
+	// 10 + (-10) = 0: the next > 0 guard suppresses the prediction.
+	if len(out) != 0 {
+		t.Fatalf("negative/zero next line must be suppressed: %+v", out)
+	}
+}
+
+// --- composite fan-out and cross-part dedup ---
+
+func TestCompositeFanOutOrderIsPartOrder(t *testing.T) {
+	// Two stride prefetchers warmed on the same PC emit in part order.
+	a, _ := NewStride(64)
+	b, _ := NewStride(64)
+	warm := func(s *Stride) {
+		var sink []Candidate
+		s.Observe(Event{PC: 0x400000, LineAddr: 100}, collect(&sink))
+		s.Observe(Event{PC: 0x400000, LineAddr: 104}, collect(&sink))
+	}
+	warm(a)
+	warm(b)
+	c := NewComposite(a, b)
+	var out []Candidate
+	c.Observe(Event{PC: 0x400000, LineAddr: 108}, collect(&out))
+	if len(out) != 2 {
+		t.Fatalf("both parts should emit: %+v", out)
+	}
+	if out[0].LineAddr != 112 || out[1].LineAddr != 112 {
+		t.Fatalf("both parts predict 112: %+v", out)
+	}
+}
+
+func TestCompositeDuplicatesDedupAtQueue(t *testing.T) {
+	// The composite itself does not dedup (the hierarchy's queue and
+	// cache-containment checks do, and counting those squashes is part of
+	// the stats contract). Two parts proposing the same line therefore
+	// collapse to one queued prefetch.
+	a, _ := NewNSP(1)
+	b, _ := NewNSP(1)
+	c := NewComposite(a, b)
+	q, _ := NewQueue(8)
+	var out []Candidate
+	c.Observe(Event{PC: 0x400000, LineAddr: 10}, collect(&out))
+	if len(out) != 2 {
+		t.Fatalf("two NSPs should both propose: %+v", out)
+	}
+	enq := 0
+	for _, cand := range out {
+		if q.Enqueue(cand, 0) {
+			enq++
+		}
+	}
+	if enq != 1 || q.Len() != 1 {
+		t.Fatalf("duplicate proposals must dedup at the queue: enq=%d len=%d", enq, q.Len())
+	}
+}

@@ -1,0 +1,42 @@
+package report
+
+import "sort"
+
+// FilterComparisonRow is one (benchmark, filter backend) cell of a
+// head-to-head filter comparison: the raw prefetch-classification counts
+// plus the derived quality metrics the paper reports, and the IPC delta
+// against the unfiltered run of the same benchmark.
+type FilterComparisonRow struct {
+	Benchmark string  `json:"benchmark"`
+	Filter    string  `json:"filter"`
+	Good      uint64  `json:"good"`
+	Bad       uint64  `json:"bad"`
+	Filtered  uint64  `json:"filtered"`
+	Accuracy  float64 `json:"accuracy"` // good / (good + bad)
+	Coverage  float64 `json:"coverage"` // good / (good + remaining demand misses)
+	IPC       float64 `json:"ipc"`
+	IPCDelta  float64 `json:"ipc_delta"` // relative to the "none" run of the benchmark
+}
+
+// SortFilterComparison orders rows benchmark-major, filter-minor, the
+// stable order every renderer (CLI table, JSON response) presents.
+func SortFilterComparison(rows []FilterComparisonRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Benchmark != rows[j].Benchmark {
+			return rows[i].Benchmark < rows[j].Benchmark
+		}
+		return rows[i].Filter < rows[j].Filter
+	})
+}
+
+// FilterComparison renders the head-to-head backend table.
+func FilterComparison(title string, rows []FilterComparisonRow) *Table {
+	t := New(title, "benchmark", "filter", "good", "bad", "filtered",
+		"accuracy", "coverage", "IPC", "dIPC")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Filter, I(r.Good), I(r.Bad), I(r.Filtered),
+			Pct(r.Accuracy), Pct(r.Coverage), F(r.IPC), F(r.IPCDelta))
+	}
+	t.AddNote("accuracy = good/(good+bad); coverage = good/(good + L1 demand misses); dIPC vs the unfiltered (none) run")
+	return t
+}

@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/filter"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -100,6 +102,11 @@ type SweepResponse struct {
 	// WallNS is the whole sweep's wall time under the scheduler.
 	WallNS  int64       `json:"wall_ns"`
 	Results []RunResult `json:"results"`
+	// Comparison is the head-to-head view of the successful cells:
+	// per-(benchmark, filter) classification counts, accuracy, coverage,
+	// and IPC delta against the benchmark's unfiltered ("none") cell when
+	// the sweep includes one.
+	Comparison []report.FilterComparisonRow `json:"comparison,omitempty"`
 }
 
 type errorResponse struct {
@@ -121,7 +128,7 @@ func validateBenchmarks(names []string) error {
 
 // buildConfig assembles a machine config from request knobs and
 // validates it.
-func buildConfig(filter string, cacheKB, tableEntries, l1Ports int, prefetchBuffer bool) (config.Config, error) {
+func buildConfig(filterName string, cacheKB, tableEntries, l1Ports int, prefetchBuffer bool) (config.Config, error) {
 	var cfg config.Config
 	switch cacheKB {
 	case 0, 8:
@@ -133,12 +140,12 @@ func buildConfig(filter string, cacheKB, tableEntries, l1Ports int, prefetchBuff
 	default:
 		return config.Config{}, fmt.Errorf("cache_kb must be 8, 16, or 32, got %d", cacheKB)
 	}
-	kind := config.FilterKind(filter)
-	if filter == "" {
+	kind := config.FilterKind(filterName)
+	if filterName == "" {
 		kind = config.FilterNone
 	}
-	if !kind.Valid() {
-		return config.Config{}, fmt.Errorf("unknown filter %q", filter)
+	if !filter.Registered(kind) {
+		return config.Config{}, fmt.Errorf("unknown filter %q (registered backends: %v)", filterName, filter.Kinds())
 	}
 	cfg = cfg.WithFilter(kind)
 	if tableEntries > 0 {
@@ -184,6 +191,10 @@ func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixI
 	filters := req.Filters
 	if len(filters) == 0 {
 		filters = []string{string(config.FilterNone), string(config.FilterPA), string(config.FilterPC)}
+	} else if len(filters) == 1 && filters[0] == "all" {
+		// The filters dimension expands to every sweepable backend in the
+		// registry (the static filter needs a profiling run and is skipped).
+		filters = filter.Sweepable()
 	}
 	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters))
 	for _, f := range filters {
@@ -196,6 +207,45 @@ func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixI
 		}
 	}
 	return items, nil
+}
+
+// buildComparison derives the head-to-head rows from the successful
+// sweep cells. IPC deltas are against the benchmark's "none" cell; a
+// benchmark without one reports zero deltas.
+func buildComparison(results []RunResult) []report.FilterComparisonRow {
+	baseIPC := make(map[string]float64)
+	for _, r := range results {
+		if r.Run != nil && config.FilterKind(r.Filter).Canonical() == config.FilterNone {
+			baseIPC[r.Benchmark] = r.IPC
+		}
+	}
+	var rows []report.FilterComparisonRow
+	for _, r := range results {
+		if r.Run == nil {
+			continue
+		}
+		cov := 0.0
+		if denom := r.Run.Prefetches.Good + r.Run.L1DemandMisses; denom > 0 {
+			cov = float64(r.Run.Prefetches.Good) / float64(denom)
+		}
+		delta := 0.0
+		if base, ok := baseIPC[r.Benchmark]; ok {
+			delta = r.IPC - base
+		}
+		rows = append(rows, report.FilterComparisonRow{
+			Benchmark: r.Benchmark,
+			Filter:    r.Filter,
+			Good:      r.Run.Prefetches.Good,
+			Bad:       r.Run.Prefetches.Bad,
+			Filtered:  r.Run.Prefetches.Filtered,
+			Accuracy:  r.Run.Prefetches.GoodFraction(),
+			Coverage:  cov,
+			IPC:       r.IPC,
+			IPCDelta:  delta,
+		})
+	}
+	report.SortFilterComparison(rows)
+	return rows
 }
 
 // resultFor assembles one RunResult from a matrix item and its run.

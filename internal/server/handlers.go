@@ -248,6 +248,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, resultFor(c.item, &run, res.Wall.Nanoseconds(), nil))
 	}
+	resp.Comparison = buildComparison(resp.Results)
 	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
 	writeJSON(w, http.StatusOK, resp)
 }

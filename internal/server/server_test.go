@@ -384,3 +384,83 @@ func TestSimulationErrorSurfacesAs500(t *testing.T) {
 		t.Fatalf("simulation failure: status = %d (body %s)", status, body)
 	}
 }
+
+func TestSweepUnknownFilterRejectedWithBackendList(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"filters":["bogus"],"instructions":30000}`)
+	if status != 400 {
+		t.Fatalf("unknown filter: status = %d (body %s)", status, body)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bogus", "registered backends", "perceptron", "bloom", "tournament", "pa", "pc"} {
+		if !strings.Contains(resp.Error, want) {
+			t.Fatalf("400 body should name %q, got: %s", want, resp.Error)
+		}
+	}
+	// Same contract on /v1/run.
+	status, body = post(t, ts.URL, "/v1/run", `{"benchmark":"fpppp","filter":"bogus"}`)
+	if status != 400 || !strings.Contains(string(body), "registered backends") {
+		t.Fatalf("run unknown filter: status=%d body=%s", status, body)
+	}
+}
+
+func TestSweepFiltersAllWithComparison(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"filters":["all"],"instructions":30000,"warmup":10000}`)
+	if status != 200 {
+		t.Fatalf("filters=all sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors != 0 {
+		t.Fatalf("errors=%d: %s", resp.Errors, body)
+	}
+	got := map[string]bool{}
+	for _, r := range resp.Results {
+		got[r.Filter] = true
+	}
+	for _, want := range []string{"none", "pa", "pc", "adaptive", "deadblock", "perceptron", "bloom", "tournament"} {
+		if !got[want] {
+			t.Fatalf("filters=all missing backend %q (got %v)", want, got)
+		}
+	}
+	if got["static"] {
+		t.Fatal("filters=all must skip the static filter")
+	}
+	if len(resp.Comparison) != len(resp.Results) {
+		t.Fatalf("comparison rows = %d, results = %d", len(resp.Comparison), len(resp.Results))
+	}
+	var none, pa *int
+	for i := range resp.Comparison {
+		c := resp.Comparison[i]
+		if c.Benchmark != "fpppp" {
+			t.Fatalf("comparison row for unexpected benchmark: %+v", c)
+		}
+		if c.Accuracy < 0 || c.Accuracy > 1 || c.Coverage < 0 || c.Coverage > 1 {
+			t.Fatalf("metrics out of range: %+v", c)
+		}
+		switch c.Filter {
+		case "none":
+			none = &i
+			if c.IPCDelta != 0 {
+				t.Fatalf("baseline delta must be 0: %+v", c)
+			}
+		case "pa":
+			pa = &i
+		}
+	}
+	if none == nil || pa == nil {
+		t.Fatalf("comparison missing none/pa rows: %+v", resp.Comparison)
+	}
+	noneRow, paRow := resp.Comparison[*none], resp.Comparison[*pa]
+	if diff := paRow.IPC - noneRow.IPC; diff != paRow.IPCDelta {
+		t.Fatalf("pa delta %g inconsistent with IPCs %g/%g", paRow.IPCDelta, paRow.IPC, noneRow.IPC)
+	}
+}

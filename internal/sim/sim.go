@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	pfilter "repro/internal/filter"
 	"repro/internal/hier"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -91,17 +92,15 @@ func Run(opts Options) (stats.Run, error) {
 
 	filter := opts.Filter
 	if filter == nil {
-		if cfg.Filter.Kind == config.FilterDeadBlock {
-			// The dead-block baseline lives in the hierarchy (it needs the
-			// L1's victim state); the core filter slot stays pass-through.
-			filter = core.NewNull()
-		} else {
-			f, err := core.FromConfig(cfg.Filter)
-			if err != nil {
-				return stats.Run{}, err
-			}
-			filter = f
+		// The registry covers every backend, including the learned ones in
+		// internal/filter; deadblock resolves to a pass-through core filter
+		// because that baseline lives in the hierarchy (it needs the L1's
+		// victim state).
+		f, err := pfilter.New(cfg.Filter)
+		if err != nil {
+			return stats.Run{}, err
 		}
+		filter = f
 	}
 
 	maxInstr := cfg.MaxInstructions

@@ -35,6 +35,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/filter"
 	"repro/internal/isa"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -52,6 +53,9 @@ type (
 	CacheConfig = config.CacheConfig
 	// FilterKind selects the pollution-filter variant.
 	FilterKind = config.FilterKind
+	// FilterConfig parameterizes one pollution-filter backend; feed it
+	// to NewFilterBackend or embed it in a Config.
+	FilterConfig = config.FilterConfig
 	// Options names what Simulate should run.
 	Options = sim.Options
 	// Run holds one simulation's measurements.
@@ -92,14 +96,34 @@ const (
 	TaxUseless     = taxonomy.Useless
 )
 
-// Filter kinds (see config).
+// Filter kinds (see config). FilterPA/FilterPC are the paper's
+// contribution; perceptron, bloom, and tournament are the learned
+// backends from the internal/filter zoo (see EXPERIMENTS.md).
 const (
-	FilterNone     = config.FilterNone
-	FilterPA       = config.FilterPA
-	FilterPC       = config.FilterPC
-	FilterStatic   = config.FilterStatic
-	FilterAdaptive = config.FilterAdaptive
+	FilterNone       = config.FilterNone
+	FilterPA         = config.FilterPA
+	FilterPC         = config.FilterPC
+	FilterStatic     = config.FilterStatic
+	FilterAdaptive   = config.FilterAdaptive
+	FilterDeadBlock  = config.FilterDeadBlock
+	FilterPerceptron = config.FilterPerceptron
+	FilterBloom      = config.FilterBloom
+	FilterTournament = config.FilterTournament
 )
+
+// FilterBackends returns every backend registered in the pollution-
+// filter zoo (internal/filter), sorted, including aliases such as
+// "table-pa".
+func FilterBackends() []string { return filter.Kinds() }
+
+// SweepableFilterBackends returns the backends a head-to-head sweep can
+// run directly — every registered kind except "static", which needs a
+// profiling pass (use SimulateStatic).
+func SweepableFilterBackends() []string { return filter.Sweepable() }
+
+// NewFilterBackend constructs a filter from a validated FilterConfig via
+// the registry, e.g. DefaultConfig().Filter with Kind overridden.
+func NewFilterBackend(cfg config.FilterConfig) (Filter, error) { return filter.New(cfg) }
 
 // DefaultConfig returns the paper's Table 1 machine: 8KB direct-mapped
 // 1-cycle 3-port L1, 512KB 4-way L2, 150-cycle memory, NSP+SDP+software

@@ -131,7 +131,7 @@ func TestPublicTraceRoundTrip(t *testing.T) {
 
 func TestPublicExperimentsIndex(t *testing.T) {
 	exps := repro.Experiments()
-	if len(exps) != 27 {
+	if len(exps) != 28 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	if _, ok := repro.ExperimentByID("fig6"); !ok {
@@ -241,5 +241,33 @@ func TestPublicTaggedFilters(t *testing.T) {
 		if !f.Allow(repro.FilterRequest{LineAddr: 1}) {
 			t.Fatal("fresh tagged filter should allow")
 		}
+	}
+}
+
+func TestPublicFilterZoo(t *testing.T) {
+	kinds := repro.FilterBackends()
+	sweep := repro.SweepableFilterBackends()
+	if len(kinds) == 0 || len(sweep) == 0 {
+		t.Fatalf("empty registry: kinds=%v sweep=%v", kinds, sweep)
+	}
+	for _, s := range sweep {
+		if s == string(repro.FilterStatic) {
+			t.Fatal("static must not be sweepable")
+		}
+	}
+	for _, k := range []repro.FilterKind{
+		repro.FilterPerceptron, repro.FilterBloom, repro.FilterTournament,
+	} {
+		cfg := repro.DefaultConfig().WithFilter(k).Filter
+		f, err := repro.NewFilterBackend(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if !f.Allow(repro.FilterRequest{LineAddr: 0x1000}) {
+			t.Fatalf("%s: fresh backend should allow a first touch", k)
+		}
+	}
+	if _, err := repro.NewFilterBackend(repro.FilterConfig{Kind: "bogus", TableEntries: 64}); err == nil {
+		t.Fatal("bogus kind should fail")
 	}
 }
