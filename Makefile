@@ -1,0 +1,33 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keeping them here makes the gates reproducible locally.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector where goroutines actually meet (the concurrency
+# harnesses); the simulation packages are single-goroutine by design.
+race:
+	$(GO) test -race ./internal/sched/ ./internal/server/ ./internal/metrics/ ./internal/experiments/
+
+# Static analysis: go vet plus pflint, the project linter
+# (docs/LINTING.md). A finding anywhere fails the target.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/pflint ./...
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzConfigString -fuzztime=30s ./internal/config/
+	$(GO) test -run=NONE -fuzz=FuzzHistoryTableIndex -fuzztime=30s ./internal/core/
+
+# Reduced bench matrix; see docs/PERFORMANCE.md for the full policy.
+bench-smoke:
+	$(GO) run ./cmd/pfexperiments -bench-json -jobs 4 \
+		-n 50000 -warmup 10000 -bench mcf,gzip \
+		-bench-out BENCH_smoke.json

@@ -86,7 +86,7 @@ func main() {
 		if err := report.WriteJSON(f); err == nil {
 			err = f.Close()
 		} else {
-			f.Close()
+			_ = f.Close() // the write error takes precedence
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pfexperiments: %v\n", err)

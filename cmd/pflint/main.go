@@ -1,0 +1,68 @@
+// Command pflint runs the repository's static-analysis suite
+// (internal/lint): determinism, hotpath, hooks, configcov, and errcheck
+// analyzers encoding the simulator's standing invariants. It exits 1
+// when any finding survives, so CI can gate on it; see docs/LINTING.md
+// for the rules and the //pflint:allow escape pragma.
+//
+// Usage:
+//
+//	pflint [-list] [packages]
+//
+// Packages default to ./... relative to the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and rules, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pflint [-list] [packages]\n\nAnalyzers (see docs/LINTING.md):\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+			for _, r := range a.Rules {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pflint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && len(rel) < len(f.Pos.Filename) {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pflint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -118,7 +118,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //pflint:allow errcheck read-only trace input; a close error cannot lose data
 		r, err := isa.NewReader(f)
 		if err != nil {
 			fatal(err)
@@ -198,7 +198,7 @@ func writeTrace(tracer *trace.Tracer, path string) {
 		fatal(err)
 	}
 	if err := tracer.WriteJSONL(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

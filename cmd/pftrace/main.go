@@ -70,7 +70,6 @@ func cmdGen(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	w, err := isa.NewWriter(f)
 	if err != nil {
 		fatal(err)
@@ -86,6 +85,11 @@ func cmdGen(args []string) {
 		}
 	}
 	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	// Close errors on a written file can lose buffered data; check them.
+	// (Early fatal paths exit the process, which releases the fd.)
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)

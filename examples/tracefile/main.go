@@ -20,7 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	path := filepath.Join(dir, "em3d.pft")
 
 	// 1. Generate a trace by simulating nothing: pull records straight
@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	decoded, err := repro.ReadTrace(g)
-	g.Close()
+	_ = g.Close() // read-only; a close error cannot lose data
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -162,6 +162,8 @@ func (c *Cache) setIndex(lineAddr uint64) uint64 { return lineAddr & c.setMask }
 // flat index, or -1. The tag array can only hold lineAddr at a frame
 // whose Line actually stores it (Insert/Invalidate/Flush keep the two in
 // lockstep), so no re-confirmation against the Line is needed.
+//
+//pflint:hotpath
 func (c *Cache) find(lineAddr uint64) int {
 	base := int(c.setIndex(lineAddr)) * c.assoc
 	tags := c.tags[base : base+c.assoc]
@@ -176,6 +178,8 @@ func (c *Cache) find(lineAddr uint64) int {
 // Lookup finds the line, updating recency state on a hit. The returned
 // pointer stays valid until the line is evicted; callers mutate metadata
 // (RIB, dirty, shadow state) through it.
+//
+//pflint:hotpath
 func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
 	if i := c.find(lineAddr); i >= 0 {
 		c.tick++
@@ -231,6 +235,8 @@ func (c *Cache) victim(set []Line) int {
 //
 // Inserting a line that is already resident resets that line in place and
 // reports no eviction.
+//
+//pflint:hotpath
 func (c *Cache) Insert(lineAddr uint64) (installed *Line, evicted Line, hadEviction bool) {
 	base := int(c.setIndex(lineAddr)) * c.assoc
 	set := c.lines[base : base+c.assoc]

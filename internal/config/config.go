@@ -263,6 +263,7 @@ type FilterConfig struct {
 	BloomReject int `json:"bloom_reject,omitempty"`
 	// BloomDecay halves every counter after this many trainings
 	// (default 8192; negative disables decay).
+	//pflint:allow configcov every value is legal: 0 selects the default, negative disables decay
 	BloomDecay int `json:"bloom_decay,omitempty"`
 
 	// TournamentA and TournamentB name the two duelling backends
@@ -353,6 +354,7 @@ type Config struct {
 	// (0 disables — the paper's machine). See internal/victim.
 	VictimEntries int `json:"victim_entries"`
 	// Seed drives every random decision in the run.
+	//pflint:allow configcov any uint64 is a valid seed
 	Seed uint64 `json:"seed"`
 	// MaxInstructions bounds the run; 0 means run the trace to completion.
 	MaxInstructions int64 `json:"max_instructions"`

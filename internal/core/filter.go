@@ -292,11 +292,15 @@ func NewTableFilter(name string, key KeyFunc, entries int, initial, threshold ui
 // Predict reports the table's current prediction for req without
 // touching any statistics — the side-effect-free probe tournament
 // selectors use to consult a backend they may not pick.
+//
+//pflint:hotpath
 func (f *TableFilter) Predict(req Request) bool {
 	return f.table.Predict(f.key(req.LineAddr, req.TriggerPC))
 }
 
 // Allow implements Filter.
+//
+//pflint:hotpath
 func (f *TableFilter) Allow(req Request) bool {
 	f.stats.Queries++
 	if f.table.Predict(f.key(req.LineAddr, req.TriggerPC)) {
@@ -311,6 +315,8 @@ func (f *TableFilter) Allow(req Request) bool {
 }
 
 // Train implements Filter.
+//
+//pflint:hotpath
 func (f *TableFilter) Train(fb Feedback) {
 	if fb.Referenced {
 		f.stats.TrainGood++

@@ -64,13 +64,16 @@ func (p *ProfileCollector) ResetStats() { p.stats = Stats{} }
 // for reports and tests).
 func (p *ProfileCollector) Keys() []uint64 {
 	seen := make(map[uint64]struct{}, len(p.good)+len(p.bad))
+	//pflint:allow determinism/maprange set union; the result is sorted below
 	for k := range p.good {
 		seen[k] = struct{}{}
 	}
+	//pflint:allow determinism/maprange set union; the result is sorted below
 	for k := range p.bad {
 		seen[k] = struct{}{}
 	}
 	out := make([]uint64, 0, len(seen))
+	//pflint:allow determinism/maprange key collection; the result is sorted below
 	for k := range seen {
 		out = append(out, k)
 	}

@@ -171,6 +171,9 @@ func (c *CPU) dumpMetrics() {
 	set("mshr_stall_cycles", c.res.MSHRStallCycles)
 }
 
+// slot maps a sequence number to its ROB frame.
+//
+//pflint:hotpath
 func (c *CPU) slot(seq uint64) *robEntry {
 	if c.robMask != 0 {
 		return &c.rob[seq&c.robMask]
@@ -178,14 +181,22 @@ func (c *CPU) slot(seq uint64) *robEntry {
 	return &c.rob[seq%c.robLen]
 }
 
+// robFull reports whether fetch must stall for ROB space.
+//
+//pflint:hotpath
 func (c *CPU) robFull() bool { return c.robTail-c.robHead >= uint64(len(c.rob)) }
 
+// robEmpty reports whether the pipeline has drained.
+//
+//pflint:hotpath
 func (c *CPU) robEmpty() bool { return c.robTail == c.robHead }
 
 // depSatisfied reports whether the entry at seq may issue, honouring the
 // Dep serialization flag. An entry with Dep waits for its immediate
 // predecessor to complete; a retired predecessor is complete by
 // definition.
+//
+//pflint:hotpath
 func (c *CPU) depSatisfied(seq, now uint64) bool {
 	e := c.slot(seq)
 	if !e.dep || seq == 0 {

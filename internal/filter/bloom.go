@@ -93,6 +93,8 @@ func (b *Bloom) probe(lineAddr uint64, i int) uint64 {
 
 // Predict reports the current decision for req without touching stats:
 // reject only when every probe is at or above the threshold.
+//
+//pflint:hotpath
 func (b *Bloom) Predict(req core.Request) bool {
 	for i := 0; i < b.hashes; i++ {
 		if b.counters[b.probe(req.LineAddr, i)] < b.reject {
@@ -115,6 +117,8 @@ func (b *Bloom) Allow(req core.Request) bool {
 
 // Train implements core.Filter: bad evictions insert, good evictions
 // remove, and every decay interval halves all counters.
+//
+//pflint:hotpath
 func (b *Bloom) Train(fb core.Feedback) {
 	if fb.Referenced {
 		b.stats.TrainGood++

@@ -71,6 +71,7 @@ func Kinds() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	out := make([]string, 0, len(registry))
+	//pflint:allow determinism/maprange key collection; the result is sorted below
 	for k := range registry {
 		out = append(out, string(k))
 	}

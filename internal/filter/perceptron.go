@@ -102,6 +102,8 @@ func (p *Perceptron) sum(idx [perceptronFeatures]uint64) int32 {
 }
 
 // Predict reports the current decision for req without touching stats.
+//
+//pflint:hotpath
 func (p *Perceptron) Predict(req core.Request) bool {
 	return p.sum(p.features(req.LineAddr, req.TriggerPC, req.Source)) >= 0
 }
@@ -121,6 +123,8 @@ func (p *Perceptron) Allow(req core.Request) bool {
 // Train implements core.Filter with the thresholded perceptron rule:
 // update only when the prediction disagreed with the outcome or the
 // confidence |sum| was at or below theta.
+//
+//pflint:hotpath
 func (p *Perceptron) Train(fb core.Feedback) {
 	if fb.Referenced {
 		p.stats.TrainGood++

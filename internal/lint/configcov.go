@@ -1,0 +1,97 @@
+// The configcov analyzer: every exported field of the exported structs
+// in internal/config must be read by some Validate method in the
+// package. The filter zoo grew a bug class where a new knob was parsed
+// and plumbed but silently never validated; this closes it structurally.
+// Bool fields are exempt (both values are always legal), and a field
+// whose full value range really is valid carries an explicit
+// //pflint:allow configcov/unvalidated pragma on its declaration.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+func configcovAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "configcov",
+		Doc:   "require every exported config struct field to be read in a Validate method",
+		Rules: []string{RuleConfigCov},
+		Run:   configcovRun,
+	}
+}
+
+func configcovRun(p *Package) []Finding {
+	if path.Base(p.ImportPath) != "config" {
+		return nil
+	}
+
+	// Pass 1: every field object read anywhere inside a Validate method.
+	validated := make(map[types.Object]bool)
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Validate" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+					validated[obj] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every exported field of every exported struct type.
+	var out []Finding
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue
+						}
+						obj, ok := p.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if isBool(obj.Type()) {
+							continue // both values always legal; nothing to validate
+						}
+						if !validated[obj] {
+							out = append(out, p.finding(name.Pos(), RuleConfigCov,
+								"exported config field %s.%s is never read by any Validate method; validate it or annotate why every value is legal",
+								ts.Name.Name, name.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

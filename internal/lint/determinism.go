@@ -1,0 +1,100 @@
+// The determinism analyzer: the core packages must produce bit-identical
+// state for a given (trace, config, seed) regardless of wall time, host,
+// environment, or Go's randomized map iteration order — that is what
+// lets TestSeedFingerprintPinned pin sha256s across worker counts. Any
+// ambient-input read or order-dependent iteration inside the core is a
+// finding; harness packages (sched, experiments, server, trace, metrics)
+// are outside the core set and free to use clocks.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTime are the wall-clock entry points of package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenEnv are the ambient-environment reads of package os.
+var forbiddenEnv = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// allowedRand are the math/rand constructors that take an explicit
+// source or seed; everything else in the package draws from the global,
+// unseeded generator.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func determinismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock, global rand, env reads, and map-order iteration in the deterministic core packages",
+		Rules: []string{
+			RuleDetTime, RuleDetRand, RuleDetEnv, RuleDetMapRange,
+		},
+		Run: determinismRun,
+	}
+}
+
+func determinismRun(p *Package) []Finding {
+	if !p.IsCore() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := packageQualifier(p, n)
+				if !ok {
+					return true
+				}
+				sel := n.Sel.Name
+				switch {
+				case pkgPath == "time" && forbiddenTime[sel]:
+					out = append(out, p.finding(n.Pos(), RuleDetTime,
+						"wall-clock access time.%s in deterministic core package %s; derive timing from simulated cycles", sel, p.Name))
+				case pkgPath == "os" && forbiddenEnv[sel]:
+					out = append(out, p.finding(n.Pos(), RuleDetEnv,
+						"environment read os.%s in deterministic core package %s; thread configuration through config.Config", sel, p.Name))
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !allowedRand[sel]:
+					out = append(out, p.finding(n.Pos(), RuleDetRand,
+						"global math/rand access rand.%s breaks replay determinism; use the seeded *xrand.Rand plumbed from config.Seed", sel))
+				}
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					out = append(out, p.finding(n.Pos(), RuleDetMapRange,
+						"map iteration order is nondeterministic; range over sorted keys, or add //pflint:allow determinism/maprange <reason> if the loop is order-insensitive"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// packageQualifier resolves sel.X to an imported package path, when the
+// selector is a pkg.Name reference.
+func packageQualifier(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,150 @@
+// The errcheck analyzer: no statement-level discard of a call whose
+// results include an error, in any non-test file. Explicit discards
+// (`_ = f()`, `_, _ = fmt.Fprintln(w, ...)`) stay visible in review and
+// are allowed; the silent `f()` form is the bug class this closes.
+//
+// Conventional never-fail sinks are exempt so CLI code stays idiomatic:
+// fmt.Print* to stdout, fmt.Fprint* to os.Stdout/os.Stderr, and writes
+// into *strings.Builder, *bytes.Buffer, or hash.Hash implementations
+// (all documented to never return an error).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func errcheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "errcheck",
+		Doc:   "forbid silently discarded error returns outside tests",
+		Rules: []string{RuleErrcheck},
+		Run:   errcheckRun,
+	}
+}
+
+func errcheckRun(p *Package) []Finding {
+	var out []Finding
+	check := func(call *ast.CallExpr, form string) {
+		if call == nil || !returnsError(p, call) || exemptCall(p, call) {
+			return
+		}
+		out = append(out, p.finding(call.Pos(), RuleErrcheck,
+			"%s discards the error returned by %s; handle it, assign it to _, or justify with //pflint:allow errcheck <reason>",
+			form, callName(call)))
+	}
+	for _, file := range p.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			case *ast.GoStmt:
+				check(s.Call, "go statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// exemptCall recognizes the conventional never-fail sinks.
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	fun := unparen(call.Fun)
+
+	// fmt.Print*/Fprint* conventions.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if pkgPath, ok := packageQualifier(p, sel); ok && pkgPath == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				return true // stdout CLI output
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && neverFailWriter(p, call.Args[0])
+			}
+			return false
+		}
+		// Methods on never-fail writers: (*strings.Builder).WriteString,
+		// (*bytes.Buffer).Write, hash digests, ...
+		if p.Info != nil {
+			if _, isMethod := p.Info.Selections[sel]; isMethod {
+				return neverFailWriter(p, sel.X)
+			}
+		}
+	}
+	return false
+}
+
+// neverFailWriter reports whether e is a writer documented to never
+// return a write error: os.Stdout/os.Stderr by CLI convention,
+// *strings.Builder, *bytes.Buffer, and hash.Hash implementations.
+func neverFailWriter(p *Package, e ast.Expr) bool {
+	e = unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if pkgPath, ok := packageQualifier(p, sel); ok && pkgPath == "os" {
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				return true
+			}
+		}
+	}
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return isHashLike(p.TypeOf(e))
+}
+
+// isHashLike structurally matches hash.Hash (Write + Sum + BlockSize)
+// without requiring the hash package in the dependency closure.
+func isHashLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	hasMethod := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		_, ok := obj.(*types.Func)
+		return ok
+	}
+	return hasMethod("Sum") && hasMethod("BlockSize") && hasMethod("Write")
+}
+
+// callName renders the callee for the finding message.
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(unparen(call.Fun))
+}

@@ -1,0 +1,289 @@
+// The hooks analyzer: observability hooks follow the nil-check no-op
+// pattern PR 1 established. Metric handles (*metrics.Counter,
+// *metrics.Histogram) are nil-receiver-safe by contract, so bare calls
+// are fine. Tracer event emission is different: even though
+// (*trace.Tracer).Emit itself no-ops on nil, an unguarded call still
+// constructs the trace.Event argument on every invocation — paying the
+// full cost of tracing while tracing is off. Every Emit call in a core
+// package must therefore sit inside an `if tr != nil` (or equivalent
+// early-return) guard on the same receiver expression.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// tracerTypePath/Name identify the guarded hook type.
+const (
+	tracerPkgSuffix = "internal/trace"
+	tracerTypeName  = "Tracer"
+)
+
+// guardedMethods are the Tracer methods whose arguments are expensive to
+// build; these require an enclosing nil guard.
+var guardedMethods = map[string]bool{"Emit": true}
+
+func hooksAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "hooks",
+		Doc:   "require the if-non-nil guard around tracer Emit hooks in core packages",
+		Rules: []string{RuleHooksGuard},
+		Run:   hooksRun,
+	}
+}
+
+func hooksRun(p *Package) []Finding {
+	if !p.IsCore() {
+		return nil
+	}
+	w := &hookWalker{p: p}
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.block(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return w.findings
+}
+
+type hookWalker struct {
+	p        *Package
+	findings []Finding
+}
+
+// block walks a statement list with the set of receiver expressions
+// currently guaranteed non-nil (keyed by their printed form).
+func (w *hookWalker) block(stmts []ast.Stmt, guarded map[string]bool) {
+	live := cloneGuards(guarded)
+	for _, s := range stmts {
+		w.stmt(s, live)
+		// `if x == nil { return }` guards everything after it.
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && exitsEarly(ifs.Body) {
+			for _, e := range nilEqualExprs(ifs.Cond) {
+				live[e] = true
+			}
+		}
+	}
+}
+
+func (w *hookWalker) stmt(s ast.Stmt, guarded map[string]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s.List, guarded)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		w.exprs(guarded, s.Cond)
+		inner := cloneGuards(guarded)
+		for _, e := range nilCheckedExprs(s.Cond) {
+			inner[e] = true
+		}
+		w.block(s.Body.List, inner)
+		if s.Else != nil {
+			w.stmt(s.Else, guarded)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		w.exprs(guarded, s.Cond)
+		if s.Post != nil {
+			w.stmt(s.Post, guarded)
+		}
+		w.block(s.Body.List, guarded)
+	case *ast.RangeStmt:
+		w.exprs(guarded, s.X)
+		w.block(s.Body.List, guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		w.exprs(guarded, s.Tag)
+		w.block(s.Body.List, guarded)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		w.stmt(s.Assign, guarded)
+		w.block(s.Body.List, guarded)
+	case *ast.SelectStmt:
+		w.block(s.Body.List, guarded)
+	case *ast.CaseClause:
+		w.exprs(guarded, s.List...)
+		w.block(s.Body, guarded)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm, guarded)
+		}
+		w.block(s.Body, guarded)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, guarded)
+	case *ast.ExprStmt:
+		w.exprs(guarded, s.X)
+	case *ast.SendStmt:
+		w.exprs(guarded, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		w.exprs(guarded, s.X)
+	case *ast.AssignStmt:
+		w.exprs(guarded, s.Rhs...)
+		w.exprs(guarded, s.Lhs...)
+	case *ast.GoStmt:
+		w.exprs(guarded, s.Call)
+	case *ast.DeferStmt:
+		w.exprs(guarded, s.Call)
+	case *ast.ReturnStmt:
+		w.exprs(guarded, s.Results...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(guarded, vs.Values...)
+				}
+			}
+		}
+	}
+}
+
+// exprs scans expressions for unguarded hook calls. Function literals
+// start a fresh guard scope: a closure may run long after the guard that
+// lexically encloses its definition was evaluated.
+func (w *hookWalker) exprs(guarded map[string]bool, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				w.block(n.Body.List, map[string]bool{})
+				return false
+			case *ast.CallExpr:
+				w.checkCall(n, guarded)
+			}
+			return true
+		})
+	}
+}
+
+func (w *hookWalker) checkCall(call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !guardedMethods[sel.Sel.Name] {
+		return
+	}
+	if !isTracerPtr(w.p.TypeOf(sel.X)) {
+		return
+	}
+	recv := types.ExprString(sel.X)
+	if guarded[recv] {
+		return
+	}
+	w.findings = append(w.findings, w.p.finding(call.Pos(), RuleHooksGuard,
+		"%s.%s called without an enclosing `if %s != nil` guard; the Event argument is built even when tracing is off (PR-1 hook discipline)",
+		recv, sel.Sel.Name, recv))
+}
+
+// isTracerPtr reports whether t is *trace.Tracer (matched by package
+// path suffix so the lint fixtures' copy of the import works too).
+func isTracerPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != tracerTypeName || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return len(path) >= len(tracerPkgSuffix) && path[len(path)-len(tracerPkgSuffix):] == tracerPkgSuffix
+}
+
+// nilCheckedExprs returns the expressions proven non-nil when cond is
+// true: the `x != nil` conjuncts of an && chain.
+func nilCheckedExprs(cond ast.Expr) []string {
+	var out []string
+	for _, c := range conjuncts(cond) {
+		if e, ok := nilCompare(c, token.NEQ); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// nilEqualExprs returns the expressions proven non-nil when cond is
+// false: the `x == nil` disjuncts of an || chain.
+func nilEqualExprs(cond ast.Expr) []string {
+	var out []string
+	for _, c := range disjuncts(cond) {
+		if e, ok := nilCompare(c, token.EQL); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func conjuncts(e ast.Expr) []ast.Expr { return splitBinary(e, token.LAND) }
+func disjuncts(e ast.Expr) []ast.Expr { return splitBinary(e, token.LOR) }
+
+func splitBinary(e ast.Expr, op token.Token) []ast.Expr {
+	e = unparen(e)
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == op {
+		return append(splitBinary(be.X, op), splitBinary(be.Y, op)...)
+	}
+	return []ast.Expr{e}
+}
+
+// nilCompare matches `E op nil` / `nil op E` and returns E's printed form.
+func nilCompare(e ast.Expr, op token.Token) (string, bool) {
+	be, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return "", false
+	}
+	if isNilIdent(be.Y) {
+		return types.ExprString(unparen(be.X)), true
+	}
+	if isNilIdent(be.X) {
+		return types.ExprString(unparen(be.Y)), true
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// exitsEarly reports whether the block unconditionally leaves the
+// enclosing statement list (return / break / continue / goto / panic).
+func exitsEarly(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cloneGuards(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+// The hotpath analyzer: functions annotated //pflint:hotpath are the
+// per-access simulator paths PR 2 flattened to ~8 MIPS (ROB issue-loop
+// helpers, the hier inflight heap, flat-line cache access, the prefetch
+// dedup ring, filter Predict/Train). Inside them, anything that can
+// allocate or box is a finding:
+//
+//   - composite literals with map/slice type, &T{...}, make, new
+//   - append whose destination's capacity is not statically backed
+//     (x[:0] re-slices of a reused buffer are recognized and allowed)
+//   - any call into package fmt
+//   - interface conversions, explicit (assertions, I(x)) or implicit
+//     (concrete value assigned/passed/returned as an interface)
+//   - closures that capture enclosing state
+//
+// Struct value literals (e.g. trace.Event{...} passed by value) do not
+// allocate and are deliberately not flagged.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func hotpathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocation, fmt, interface boxing, and capturing closures in //pflint:hotpath functions",
+		Rules: []string{
+			RuleHotAlloc, RuleHotAppend, RuleHotFmt, RuleHotIface, RuleHotClosure,
+		},
+		Run: hotpathRun,
+	}
+}
+
+func hotpathRun(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hotpathDirective(fd) || fd.Body == nil {
+				continue
+			}
+			c := &hotChecker{p: p, fn: fd}
+			c.collectCapBacked()
+			c.check()
+			out = append(out, c.findings...)
+		}
+	}
+	return out
+}
+
+type hotChecker struct {
+	p        *Package
+	fn       *ast.FuncDecl
+	findings []Finding
+	// capBacked marks locals assigned from a buf[:0]-style re-slice of an
+	// existing backing array; appending to them does not allocate until
+	// the backing capacity is exceeded, which is the reuse pattern the
+	// hot paths are built on.
+	capBacked map[types.Object]bool
+}
+
+func (c *hotChecker) report(pos token.Pos, rule, format string, args ...any) {
+	c.findings = append(c.findings, c.p.finding(pos, rule, format, args...))
+}
+
+// collectCapBacked marks locals initialized or assigned from x[:0].
+func (c *hotChecker) collectCapBacked() {
+	c.capBacked = make(map[types.Object]bool)
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isZeroReslice(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := c.objOf(id); obj != nil {
+					c.capBacked[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) objOf(id *ast.Ident) types.Object {
+	if c.p.Info == nil {
+		return nil
+	}
+	if o := c.p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return c.p.Info.Uses[id]
+}
+
+// isZeroReslice reports whether e is x[:0] (or x[0:0], x[:0:n]).
+func isZeroReslice(e ast.Expr) bool {
+	se, ok := e.(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	return se.High != nil && isIntLit(se.High, "0") && (se.Low == nil || isIntLit(se.Low, "0"))
+}
+
+func isIntLit(e ast.Expr, text string) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == text
+}
+
+func (c *hotChecker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), RuleHotAlloc, "&composite literal escapes to the heap in hot path %s", funcName(c.fn))
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.TypeAssertExpr:
+			if n.Type != nil { // nil Type is a type switch, handled as branching, not boxing
+				c.report(n.Pos(), RuleHotIface, "type assertion in hot path %s; use concrete types", funcName(c.fn))
+			}
+		case *ast.AssignStmt:
+			c.checkAssignBoxing(n)
+		case *ast.ValueSpec:
+			c.checkValueSpecBoxing(n)
+		case *ast.ReturnStmt:
+			c.checkReturnBoxing(n)
+		case *ast.FuncLit:
+			if capt := c.captures(n); capt != "" {
+				c.report(n.Pos(), RuleHotClosure, "closure captures %s in hot path %s; hoist the closure to construction time", capt, funcName(c.fn))
+			}
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) checkCompositeLit(cl *ast.CompositeLit) {
+	t := c.p.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(cl.Pos(), RuleHotAlloc, "slice literal allocates in hot path %s; use a preallocated buffer", funcName(c.fn))
+	case *types.Map:
+		c.report(cl.Pos(), RuleHotAlloc, "map literal allocates in hot path %s; use a preallocated table", funcName(c.fn))
+	}
+}
+
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	// Builtins: make/new allocate; append is allowed only onto
+	// capacity-backed destinations.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				c.report(call.Pos(), RuleHotAlloc, "%s allocates in hot path %s; allocate at construction time", b.Name(), funcName(c.fn))
+			case "append":
+				if len(call.Args) > 0 && !c.isCapBackedDest(call.Args[0]) {
+					c.report(call.Pos(), RuleHotAppend, "append to capacity-unknown slice may allocate in hot path %s; append into a buf[:0] re-slice of a reused buffer, or justify with //pflint:allow hotpath/append <reason>", funcName(c.fn))
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions to interface types box their operand.
+	if tv, ok := c.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isInterface(tv.Type) && c.isConcrete(call.Args[0]) {
+			c.report(call.Pos(), RuleHotIface, "conversion to interface type %s boxes its operand in hot path %s", tv.Type.String(), funcName(c.fn))
+		}
+		return
+	}
+
+	// Calls into package fmt.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkgPath, ok := packageQualifier(c.p, sel); ok && pkgPath == "fmt" {
+			c.report(call.Pos(), RuleHotFmt, "fmt.%s call in hot path %s; fmt allocates and boxes every operand", sel.Sel.Name, funcName(c.fn))
+			return
+		}
+	}
+
+	// Implicit boxing: concrete arguments bound to interface parameters.
+	sig, ok := c.p.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through; no boxing here
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && c.isConcrete(arg) {
+			c.report(arg.Pos(), RuleHotIface, "concrete value passed as interface %s boxes in hot path %s", pt.String(), funcName(c.fn))
+		}
+	}
+}
+
+func (c *hotChecker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		if as.Tok == token.DEFINE {
+			continue // := infers the concrete type; no interface involved
+		}
+		lt := c.p.TypeOf(as.Lhs[i])
+		if lt != nil && isInterface(lt) && c.isConcrete(as.Rhs[i]) {
+			c.report(as.Rhs[i].Pos(), RuleHotIface, "concrete value assigned to interface %s boxes in hot path %s", lt.String(), funcName(c.fn))
+		}
+	}
+}
+
+func (c *hotChecker) checkValueSpecBoxing(vs *ast.ValueSpec) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	dt := c.p.TypeOf(vs.Type)
+	if dt == nil || !isInterface(dt) {
+		return
+	}
+	for _, v := range vs.Values {
+		if c.isConcrete(v) {
+			c.report(v.Pos(), RuleHotIface, "concrete value assigned to interface %s boxes in hot path %s", dt.String(), funcName(c.fn))
+		}
+	}
+}
+
+func (c *hotChecker) checkReturnBoxing(rs *ast.ReturnStmt) {
+	results := c.fn.Type.Results
+	if results == nil || len(rs.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range results.List {
+		t := c.p.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(rs.Results) != len(resultTypes) {
+		return // returning a multi-value call; conversions happen at the callee
+	}
+	for i, r := range rs.Results {
+		if resultTypes[i] != nil && isInterface(resultTypes[i]) && c.isConcrete(r) {
+			c.report(r.Pos(), RuleHotIface, "concrete value returned as interface %s boxes in hot path %s", resultTypes[i].String(), funcName(c.fn))
+		}
+	}
+}
+
+// isCapBackedDest reports whether the append destination is a
+// capacity-backed re-slice: either literally x[:0] or a local previously
+// assigned from one.
+func (c *hotChecker) isCapBackedDest(e ast.Expr) bool {
+	e = unparen(e)
+	if isZeroReslice(e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.objOf(id); obj != nil {
+			return c.capBacked[obj]
+		}
+	}
+	return false
+}
+
+// captures returns the name of a variable the closure captures from the
+// enclosing function, or "" if it captures nothing.
+func (c *hotChecker) captures(fl *ast.FuncLit) string {
+	if c.p.Info == nil {
+		return ""
+	}
+	name := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// this closure. Package-level vars fail the first test.
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			(v.Pos() < fl.Pos() || v.Pos() >= fl.End()) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isConcrete reports whether the expression has a concrete (non-interface,
+// non-nil) type, i.e. binding it to an interface requires boxing.
+func (c *hotChecker) isConcrete(e ast.Expr) bool {
+	tv, ok := c.p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	b, isBasic := tv.Type.Underlying().(*types.Basic)
+	if isBasic && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,163 @@
+// Package loading for pflint: a stdlib-only loader driven off
+// `go list -deps -json`, which emits packages in dependency order
+// (dependencies strictly before dependents). Each package is parsed
+// with go/parser and type-checked with go/types against a cache of the
+// already-checked imports, so the whole module plus its stdlib closure
+// checks in one pass with no external tooling.
+//
+// Dependencies that were not named by the patterns (DepOnly, which
+// includes the entire stdlib closure) are checked with
+// IgnoreFuncBodies and lenient error handling: only their exported
+// shape matters for analyzing the targets. CGO_ENABLED=0 is forced so
+// stdlib packages with cgo variants (net, os/user) list their pure-Go
+// fallbacks and remain self-contained under source type-checking.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// goListPkg is the subset of `go list -json` output the loader needs.
+type goListPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *goListError
+}
+
+type goListError struct {
+	Err string
+}
+
+// pkgImporter resolves imports from the cache of already-checked
+// packages; go list -deps guarantees the order makes that sufficient.
+type pkgImporter struct {
+	cache map[string]*types.Package
+	// fallback resolves stray paths (e.g. an import added between the
+	// list and the parse); it should effectively never be hit.
+	fallback types.Importer
+}
+
+func (i *pkgImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.cache[path]; ok {
+		return p, nil
+	}
+	if i.fallback != nil {
+		return i.fallback.Import(path)
+	}
+	return nil, fmt.Errorf("package %q not listed as a dependency", path)
+}
+
+// Load lists the packages matching patterns (relative to dir), parses
+// and type-checks them plus their whole dependency closure, and returns
+// the pattern-matched packages ready for analysis. Test files are
+// excluded by construction: `go list` reports them separately from
+// GoFiles, and the suite's rules apply to non-test code only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json=Dir,ImportPath,Name,Standard,DepOnly,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var listed []*goListPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := &goListPkg{}
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	cache := map[string]*types.Package{"unsafe": types.Unsafe}
+	imp := &pkgImporter{cache: cache, fallback: importer.ForCompiler(fset, "source", nil)}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+
+		var info *types.Info
+		var typeErrs []error
+		conf := types.Config{
+			Importer:    imp,
+			FakeImportC: true,
+			// Dependency packages only contribute their exported shape;
+			// skipping their function bodies keeps a whole-tree load fast.
+			IgnoreFuncBodies: lp.DepOnly,
+			Error: func(err error) {
+				if !lp.DepOnly {
+					typeErrs = append(typeErrs, err)
+				}
+			},
+		}
+		if !lp.DepOnly {
+			info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-check %s: %v", lp.ImportPath, typeErrs[0])
+		}
+		if err != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("type-check %s: %v", lp.ImportPath, err)
+		}
+		cache[lp.ImportPath] = tpkg
+		if lp.DepOnly {
+			continue
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Syntax:     files,
+			Types:      tpkg,
+			Info:       info,
+		}
+		for _, f := range files {
+			p.parsePragmas(f)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

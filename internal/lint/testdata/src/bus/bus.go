@@ -1,0 +1,60 @@
+// Hook-discipline fixture: a core package ("bus") calling the tracer.
+// Emit must sit behind an `if tr != nil` (or early-return) guard on the
+// same receiver expression; metric handles are nil-receiver-safe and
+// need no guard.
+package bus
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Bus is a toy arbiter carrying observability hooks like the real one.
+type Bus struct {
+	Trace  *trace.Tracer
+	Grants *metrics.Counter
+}
+
+// Grant emits without any guard.
+func (b *Bus) Grant(cycle uint64) {
+	b.Trace.Emit(trace.Event{Cycle: cycle}) // want "hooks/guard: b\.Trace\.Emit called without an enclosing `if b\.Trace != nil` guard"
+}
+
+// GrantGuarded wraps the emission in the PR-1 pattern.
+func (b *Bus) GrantGuarded(cycle uint64) {
+	if b.Trace != nil {
+		b.Trace.Emit(trace.Event{Cycle: cycle})
+	}
+}
+
+// GrantEarlyReturn proves the guard by returning when the tracer is nil.
+func (b *Bus) GrantEarlyReturn(cycle uint64) {
+	if b.Trace == nil {
+		return
+	}
+	b.Trace.Emit(trace.Event{Cycle: cycle})
+}
+
+// GrantWrongReceiver guards one tracer but emits on another.
+func (b *Bus) GrantWrongReceiver(other *trace.Tracer, cycle uint64) {
+	if b.Trace != nil {
+		other.Emit(trace.Event{Cycle: cycle}) // want "hooks/guard: other\.Emit called without an enclosing `if other != nil` guard"
+	}
+}
+
+// GrantClosure shows that a guard outside a closure does not protect the
+// call inside it: the closure may run later, against different state.
+func (b *Bus) GrantClosure(cycle uint64) func() {
+	if b.Trace != nil {
+		return func() {
+			b.Trace.Emit(trace.Event{Cycle: cycle}) // want "hooks/guard: b\.Trace\.Emit called without an enclosing `if b\.Trace != nil` guard"
+		}
+	}
+	return func() {}
+}
+
+// Count needs no guard: metric handles are nil-receiver-safe no-ops and
+// their arguments are cheap.
+func (b *Bus) Count() {
+	b.Grants.Inc()
+}

@@ -1,0 +1,35 @@
+// Config-coverage fixture: a package named "config" whose exported
+// struct fields must each be read by a Validate method, carry an allow
+// pragma, or be bool (both values always legal).
+package config
+
+import "fmt"
+
+// Knobs is an exported config struct.
+type Knobs struct {
+	// Entries is validated below.
+	Entries int
+	// Ways is parsed and plumbed but never validated — the bug class
+	// this analyzer closes.
+	Ways int // want "configcov/unvalidated: exported config field Knobs\.Ways is never read by any Validate method"
+	// Debug is bool: exempt.
+	Debug bool
+	// Seed is explicitly annotated as all-values-legal.
+	//pflint:allow configcov any seed is a legal seed
+	Seed uint64
+	// hidden is unexported: out of scope.
+	hidden int
+}
+
+// internalKnobs is unexported: out of scope even with exported fields.
+type internalKnobs struct {
+	Scratch int
+}
+
+// Validate checks the validated knobs.
+func (k Knobs) Validate() error {
+	if k.Entries <= 0 {
+		return fmt.Errorf("config: entries must be positive, got %d", k.Entries)
+	}
+	return nil
+}

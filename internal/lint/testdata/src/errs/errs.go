@@ -1,0 +1,31 @@
+// Errcheck fixture: statement-level error discards in every form, plus
+// the allowed explicit discards and never-fail sinks.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Emit exercises the discarded-error forms.
+func Emit(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Sync()        // want "errcheck/discard: statement discards the error returned by f\.Sync"
+	defer f.Close() // want "errcheck/discard: defer discards the error returned by f\.Close"
+	_ = f.Sync()    // explicit discard stays visible in review: allowed
+	//pflint:allow errcheck fixture demonstrates the escape hatch
+	f.Sync()
+	fmt.Fprintln(os.Stderr, "done") // stderr is a never-fail sink: allowed
+	fmt.Println("done")             // stdout convention: allowed
+	var b strings.Builder
+	b.WriteString("ok") // strings.Builder never fails: allowed
+}
+
+// Spawn discards the error in a goroutine.
+func Spawn(f func() error) {
+	go f() // want "errcheck/discard: go statement discards the error returned by f"
+}

@@ -1,0 +1,81 @@
+// Hot-path fixture: //pflint:hotpath functions exercising every hotpath
+// rule, plus the allowed patterns (cap-backed appends, unannotated
+// functions, struct value literals).
+package hp
+
+import "fmt"
+
+// Ring is a reusable buffer pair in the style of the simulator's hot
+// structures.
+type Ring struct {
+	buf []uint64
+	out []uint64
+}
+
+// Pair is a plain value struct; its literals do not allocate.
+type Pair struct{ A, B uint64 }
+
+func sink(v any) { _ = v }
+
+// Grow allocates every way a hot path must not.
+//
+//pflint:hotpath
+func (r *Ring) Grow(v uint64) []uint64 {
+	s := make([]uint64, 4)   // want "hotpath/alloc: make allocates in hot path"
+	t := []uint64{v}         // want "hotpath/alloc: slice literal allocates in hot path"
+	r.buf = append(r.buf, v) // want "hotpath/append: append to capacity-unknown slice"
+	fmt.Println(v)           // want "hotpath/fmt: fmt\.Println call in hot path"
+	_ = s
+	return t
+}
+
+// Box boxes every way a hot path must not.
+//
+//pflint:hotpath
+func Box(v uint64) uint64 {
+	var a any = v   // want "hotpath/iface: concrete value assigned to interface"
+	sink(v)         // want "hotpath/iface: concrete value passed as interface"
+	u := a.(uint64) // want "hotpath/iface: type assertion in hot path"
+	return u
+}
+
+// Each builds a capturing closure on every call.
+//
+//pflint:hotpath
+func Each(xs []uint64) uint64 {
+	total := uint64(0)
+	add := func(v uint64) { total += v } // want "hotpath/closure: closure captures total"
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// Filter reuses the output buffer through a [:0] re-slice; the appends
+// are capacity-backed and allowed.
+//
+//pflint:hotpath
+func (r *Ring) Filter(keep uint64) {
+	out := r.out[:0]
+	for _, v := range r.buf {
+		if v == keep {
+			out = append(out, v)
+		}
+	}
+	r.out = out
+}
+
+// Store writes a struct value literal, which does not allocate.
+//
+//pflint:hotpath
+func (r *Ring) Store(i int, a, b uint64) Pair {
+	p := Pair{A: a, B: b}
+	r.buf[i] = p.A
+	return p
+}
+
+// Cold is unannotated; none of the hotpath rules apply here.
+func Cold() []uint64 {
+	xs := make([]uint64, 0, 2)
+	return append(xs, 1, 2)
+}

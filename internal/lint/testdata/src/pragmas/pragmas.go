@@ -1,0 +1,18 @@
+// Pragma-hygiene fixture: malformed and stale escapes are engine-level
+// findings. The expectations live in TestPragmaHygiene rather than in
+// `// want` markers, because these findings sit on the pragma comment
+// itself, where a same-line marker cannot coexist with the directive.
+package pragmas
+
+//pflint:allow
+
+//pflint:allow errcheck
+
+//pflint:allow nosuchrule the rule does not exist
+
+//pflint:allow determinism/time there is no clock anywhere near this line
+
+//pflint:frobnicate
+
+// Placeholder keeps the package non-empty.
+func Placeholder() {}

@@ -1,0 +1,67 @@
+// Determinism fixture: a package whose import-path base ("sim") puts it
+// in the deterministic core, exercising every determinism rule. The
+// want markers are matched by TestAnalyzersGolden against the findings
+// on the same line.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Tick reads the wall clock.
+func Tick() int64 {
+	t := time.Now() // want "determinism/time: wall-clock access time\.Now"
+	return t.UnixNano()
+}
+
+// Elapsed measures host time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "determinism/time: wall-clock access time\.Since"
+}
+
+// Jitter draws from the global, unseeded generator.
+func Jitter() int {
+	return rand.Intn(8) // want "determinism/rand: global math/rand access rand\.Intn"
+}
+
+// SeededJitter uses an explicit source, which is allowed.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Home reads the ambient environment.
+func Home() string {
+	v, _ := os.LookupEnv("HOME") // want "determinism/env: environment read os\.LookupEnv"
+	return v
+}
+
+// Sum iterates a map in nondeterministic order.
+func Sum(m map[uint64]uint64) uint64 {
+	var s uint64
+	for _, v := range m { // want "determinism/maprange: map iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+// SumAllowed shows the escape hatch for an order-insensitive loop.
+func SumAllowed(m map[uint64]uint64) uint64 {
+	var s uint64
+	//pflint:allow determinism/maprange addition is commutative
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Keys ranges over a slice, which is ordered and therefore fine.
+func Keys(xs []uint64) uint64 {
+	var s uint64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -55,6 +55,8 @@ func (q *Queue) Cap() int { return len(q.buf) }
 // Contains reports whether a prefetch for the line is already queued.
 // It scans only the occupied ring window, in (up to) two contiguous runs
 // so the inner loops are simple range scans with no per-element modulo.
+//
+//pflint:hotpath
 func (q *Queue) Contains(lineAddr uint64) bool {
 	if q.head+q.count <= len(q.addrs) {
 		for _, a := range q.addrs[q.head : q.head+q.count] {
@@ -79,6 +81,8 @@ func (q *Queue) Contains(lineAddr uint64) bool {
 
 // Enqueue adds a candidate at cycle now. Duplicates of queued lines are
 // squashed; a full queue drops the candidate. Both outcomes return false.
+//
+//pflint:hotpath
 func (q *Queue) Enqueue(c Candidate, now uint64) bool {
 	if q.Contains(c.LineAddr) {
 		q.Squashed++
@@ -105,6 +109,8 @@ func (q *Queue) Front() (QueuedCandidate, bool) {
 }
 
 // Dequeue removes and returns the oldest queued prefetch.
+//
+//pflint:hotpath
 func (q *Queue) Dequeue() (QueuedCandidate, bool) {
 	if q.count == 0 {
 		return QueuedCandidate{}, false

@@ -65,7 +65,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	_, _ = fmt.Fprintln(w, "ok") // client gone is not a server error
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -186,37 +186,52 @@ func (t *Tracer) Events() []Event {
 // Only meaningful fields are emitted per kind; line/pc render as hex
 // strings for readability alongside objdump/trace output.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	sw := stickyWriter{w: bufio.NewWriter(w)}
 	for _, ev := range t.Events() {
-		if err := writeEventJSON(bw, ev); err != nil {
-			return err
+		sw.writeEventJSON(ev)
+		if sw.err != nil {
+			return sw.err
 		}
 	}
-	return bw.Flush()
+	return sw.w.Flush()
+}
+
+// stickyWriter records the first write error and turns every later
+// write into a no-op, so the render code below stays branch-free while
+// still surfacing the failure (the errWriter pattern).
+type stickyWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *stickyWriter) printf(format string, args ...any) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, format, args...)
 }
 
 // writeEventJSON renders one event. Hand-rolled (not encoding/json) to
 // keep field order stable and avoid per-event allocation on export.
-func writeEventJSON(w *bufio.Writer, ev Event) error {
-	fmt.Fprintf(w, `{"cycle":%d,"kind":%q`, ev.Cycle, ev.Kind.String())
+func (s *stickyWriter) writeEventJSON(ev Event) {
+	s.printf(`{"cycle":%d,"kind":%q`, ev.Cycle, ev.Kind.String())
 	switch ev.Kind {
 	case KindBusGrant:
-		fmt.Fprintf(w, `,"bytes":%d`, ev.Val)
+		s.printf(`,"bytes":%d`, ev.Val)
 		if ev.Source != "" {
-			fmt.Fprintf(w, `,"src":%q`, ev.Source)
+			s.printf(`,"src":%q`, ev.Source)
 		}
 	default:
-		fmt.Fprintf(w, `,"line":"0x%x"`, ev.LineAddr)
+		s.printf(`,"line":"0x%x"`, ev.LineAddr)
 		if ev.PC != 0 {
-			fmt.Fprintf(w, `,"pc":"0x%x"`, ev.PC)
+			s.printf(`,"pc":"0x%x"`, ev.PC)
 		}
 		if ev.Source != "" {
-			fmt.Fprintf(w, `,"src":%q`, ev.Source)
+			s.printf(`,"src":%q`, ev.Source)
 		}
 		if ev.Kind == KindPrefetchEvict {
-			fmt.Fprintf(w, `,"good":%t`, ev.Good)
+			s.printf(`,"good":%t`, ev.Good)
 		}
 	}
-	_, err := w.WriteString("}\n")
-	return err
+	s.printf("}\n")
 }

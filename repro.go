@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/filter"
 	"repro/internal/isa"
+	"repro/internal/lint"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -224,3 +225,21 @@ var (
 	WriteTrace = isa.WriteTrace
 	ReadTrace  = isa.ReadTrace
 )
+
+// Lint runs the repository's static-analysis suite (internal/lint, the
+// engine behind cmd/pflint) over the packages matching patterns, resolved
+// relative to dir; no patterns means "./...". It returns the surviving
+// findings as "file:line:col: rule: message" strings, empty when the tree
+// is clean. See docs/LINTING.md for the rules.
+func Lint(dir string, patterns ...string) ([]string, error) {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro"
@@ -269,5 +270,31 @@ func TestPublicFilterZoo(t *testing.T) {
 	}
 	if _, err := repro.NewFilterBackend(repro.FilterConfig{Kind: "bogus", TableEntries: 64}); err == nil {
 		t.Fatal("bogus kind should fail")
+	}
+}
+
+func TestPublicLint(t *testing.T) {
+	// The errcheck fixture is deliberately dirty; Lint must surface its
+	// findings through the public wrapper in the canonical format.
+	findings, err := repro.Lint(".", "./internal/lint/testdata/src/errs")
+	if err != nil {
+		t.Fatalf("Lint(errs fixture): %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("errs fixture produced no findings")
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "errcheck/discard") {
+			t.Fatalf("unexpected finding %q", f)
+		}
+	}
+
+	// A clean core package must lint clean.
+	clean, err := repro.Lint(".", "./internal/prefetch")
+	if err != nil {
+		t.Fatalf("Lint(prefetch): %v", err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("internal/prefetch should be clean, got %v", clean)
 	}
 }
