@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -320,7 +321,47 @@ func BenchmarkCachePressure(b *testing.B) {
 func init() {
 	// Fail fast if the experiment registry ever drifts from the
 	// artifacts the benchmarks above cover.
-	if got := len(experiments.All()); got != 28 {
+	if got := len(experiments.All()); got != 29 {
 		panic(fmt.Sprintf("bench harness out of date: %d experiments registered", got))
+	}
+}
+
+// BenchmarkGeneratorObserve measures the per-access decision cost of
+// every registered prefetch generator (internal/prefetch registry) on a
+// mixed demand stream: a strided component so the local-delta and
+// stride tables train, an irregular component so correlation and GHB
+// chains churn, and a hit/miss mix so the latency and shadow tables see
+// both edges. Pairs with BenchmarkFilterPredict: generator cost on one
+// side of the pipeline, filter cost on the other.
+func BenchmarkGeneratorObserve(b *testing.B) {
+	for _, kind := range prefetch.Sweepable() {
+		b.Run(kind, func(b *testing.B) {
+			l2, err := cache.New(config.Default().L2, xrand.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// WithGenerator fills the generator's default table budgets;
+			// Default() leaves zoo fields unset to keep canonical
+			// encodings stable.
+			pcfg := config.Default().WithGenerator(config.PrefetchKind(kind)).Prefetch
+			p, err := prefetch.New(config.PrefetchKind(kind), pcfg, prefetch.Env{L2: l2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			emit := func(prefetch.Candidate) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := uint64(i)
+				ev := prefetch.Event{
+					PC:       0x400000 + n%257*4,
+					LineAddr: 1<<20 + n%8 + n/8*(1+n%3),
+					Cycle:    n * 4,
+					L1Hit:    n%4 == 0,
+					L2Hit:    n%4 == 1,
+				}
+				p.Observe(ev, emit)
+			}
+		})
 	}
 }

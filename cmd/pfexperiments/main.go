@@ -12,6 +12,8 @@
 //	pfexperiments -bench-json        # timed bench matrix -> BENCH_baseline.json
 //	pfexperiments -filters all       # head-to-head filter-backend comparison
 //	pfexperiments -filters pa,perceptron,bloom -bench mcf
+//	pfexperiments -generators all -filters all   # full (generator x filter) cross-product
+//	pfexperiments -generators berti,ghb -filters pa -bench stream
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters)")
+		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters, generators)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -43,6 +45,7 @@ func main() {
 		benchOut = flag.String("bench-out", "BENCH_baseline.json", "output path for -bench-json")
 		benchJSN = flag.Bool("bench-json", false, "run the timed (benchmark x filter) bench matrix and write a BENCH JSON report")
 		filters  = flag.String("filters", "", "comma-separated filter backends to compare head to head, or \"all\" for every sweepable backend")
+		gens     = flag.String("generators", "", "comma-separated prefetch generators to cross with -filters (or \"all\"); runs the (generator x filter) comparison")
 	)
 	var jobs int
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
@@ -95,6 +98,40 @@ func main() {
 		fmt.Printf("bench matrix: %d sims in %.1fs (serial-equivalent %.1fs, speedup %.2fx, %d steals) -> %s\n",
 			len(report.Entries), time.Since(start).Seconds(),
 			time.Duration(report.SerialWallNS).Seconds(), report.Speedup(), report.Steals, *benchOut)
+		if *met {
+			printTelemetry(&params)
+		}
+		return
+	}
+
+	if *gens != "" {
+		genKinds := []string(nil) // "all" selects every registered generator
+		if *gens != "all" {
+			genKinds = strings.Split(*gens, ",")
+		}
+		filterKinds := []string(nil) // empty selects every sweepable backend
+		if *filters != "" && *filters != "all" {
+			filterKinds = strings.Split(*filters, ",")
+		}
+		rows, err := params.GeneratorComparison(ctx, genKinds, filterKinds, jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: generators: %v\n", err)
+			os.Exit(1)
+		}
+		table := report.GeneratorComparison("Generator zoo crossed with filters (default machine)", rows)
+		var werr error
+		switch {
+		case *csv:
+			werr = table.WriteCSV(os.Stdout)
+		case *md:
+			werr = table.WriteMarkdown(os.Stdout)
+		default:
+			werr = table.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pfexperiments:", werr)
+			os.Exit(1)
+		}
 		if *met {
 			printTelemetry(&params)
 		}

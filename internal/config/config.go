@@ -71,6 +71,64 @@ func (k FilterKind) Valid() bool {
 	return false
 }
 
+// PrefetchKind names one prefetch generator backend in the generator
+// zoo (internal/prefetch's registry), mirroring FilterKind for the
+// filter zoo.
+type PrefetchKind string
+
+// Prefetch generators known to the simulator: the paper's two hardware
+// prefetchers, the two classic extensions, and the generator-zoo
+// additions.
+const (
+	PrefetchNSP         PrefetchKind = "nsp"    // tagged next-sequence prefetching (Smith)
+	PrefetchSDP         PrefetchKind = "sdp"    // shadow-directory prefetching (Pomerene et al.)
+	PrefetchStride      PrefetchKind = "stride" // reference-prediction-table stride (Chen & Baer)
+	PrefetchCorrelation PrefetchKind = "corr"   // miss-pair correlation (Charney & Reeves)
+	// PrefetchBerti is the Berti-style latency-aware local-delta
+	// prefetcher (Navarro-Torres et al., MICRO 2022): per-PC history
+	// table, reuse-latency table, and shadow timeliness tracking.
+	PrefetchBerti PrefetchKind = "berti"
+	// PrefetchGHB is the GHB/PC-delta-correlation prefetcher
+	// (Nesbit & Smith): a global history buffer with per-PC linked
+	// chains, delta-pair matching, and accuracy-gated degree throttling.
+	PrefetchGHB PrefetchKind = "ghb"
+)
+
+// Aliases accepted anywhere a PrefetchKind is parsed; Canonical() folds
+// them onto the canonical kinds so configs naming either spelling build
+// the same machine (and share memo cache entries).
+const (
+	PrefetchCorrelationAlias PrefetchKind = "correlation"  // alias of PrefetchCorrelation
+	PrefetchGHBAlias         PrefetchKind = "ghb-pc-delta" // alias of PrefetchGHB
+)
+
+// Canonical resolves aliases to the canonical kind name.
+func (k PrefetchKind) Canonical() PrefetchKind {
+	switch k {
+	case PrefetchCorrelationAlias:
+		return PrefetchCorrelation
+	case PrefetchGHBAlias:
+		return PrefetchGHB
+	}
+	return k
+}
+
+// Valid reports whether k (or its canonical form) names a known
+// prefetch generator kind.
+func (k PrefetchKind) Valid() bool {
+	switch k.Canonical() {
+	case PrefetchNSP, PrefetchSDP, PrefetchStride, PrefetchCorrelation, PrefetchBerti, PrefetchGHB:
+		return true
+	}
+	return false
+}
+
+// PrefetchKinds returns every canonical generator kind in the
+// deterministic composite order the hierarchy builds them in.
+func PrefetchKinds() []PrefetchKind {
+	return []PrefetchKind{PrefetchNSP, PrefetchSDP, PrefetchStride, PrefetchCorrelation, PrefetchBerti, PrefetchGHB}
+}
+
 // ReplacementPolicy selects how a set-associative cache picks a victim.
 type ReplacementPolicy string
 
@@ -204,6 +262,81 @@ type PrefetchConfig struct {
 	// CorrelationSets and CorrelationAssoc size the correlation table.
 	CorrelationSets  int `json:"correlation_sets"`
 	CorrelationAssoc int `json:"correlation_assoc"`
+
+	// Generator-zoo backends (internal/prefetch registry). All table
+	// budgets are log2-sized in the ChampSim exemplar idiom, and every
+	// field is omitted from the JSON encoding when unset so
+	// configurations that never name these backends keep their pre-zoo
+	// canonical encoding — and therefore their memo cache keys and
+	// harness fingerprints — byte-identical.
+
+	// EnableBerti turns on the Berti-style latency-aware local-delta
+	// prefetcher. Enabling it requires explicit table budgets
+	// (WithGenerator fills in the defaults).
+	EnableBerti bool `json:"enable_berti,omitempty"`
+	// BertiHistoryLog2 sizes the per-PC history table (log2 entries).
+	BertiHistoryLog2 int `json:"berti_history_log2,omitempty"`
+	// BertiLatencyLog2 sizes the reuse-latency table (log2 entries).
+	BertiLatencyLog2 int `json:"berti_latency_log2,omitempty"`
+	// BertiShadowLog2 sizes the shadow table tracking issued prefetches
+	// for usefulness/timeliness accounting (log2 entries).
+	BertiShadowLog2 int `json:"berti_shadow_log2,omitempty"`
+
+	// EnableGHB turns on the GHB/PC-delta-correlation prefetcher.
+	// Enabling it requires explicit table budgets.
+	EnableGHB bool `json:"enable_ghb,omitempty"`
+	// GHBLog2 sizes the global history buffer (log2 entries).
+	GHBLog2 int `json:"ghb_log2,omitempty"`
+	// GHBIndexLog2 sizes the PC index table (log2 entries).
+	GHBIndexLog2 int `json:"ghb_index_log2,omitempty"`
+	// GHBMaxDegree is the ceiling of the accuracy-gated prefetch degree;
+	// the live degree starts at 1 and never exceeds this.
+	GHBMaxDegree int `json:"ghb_max_degree,omitempty"`
+}
+
+// Default generator-zoo table budgets, applied by WithGenerator. The
+// log2 sizing keeps hardware cost explicit. The PC-indexed tables are
+// sized for the workload models' deliberately large static instruction
+// footprints (every model spreads its loop kernel over dozens of code
+// contexts, like unrolled/inlined real programs): a 1024-entry history
+// table plays the role a smaller set-associative one would in hardware.
+const (
+	DefaultBertiHistoryLog2 = 10
+	DefaultBertiLatencyLog2 = 8
+	DefaultBertiShadowLog2  = 8
+	DefaultGHBLog2          = 13
+	DefaultGHBIndexLog2     = 10
+	DefaultGHBMaxDegree     = 4
+)
+
+// maxTableLog2 bounds every log2-sized generator budget: 2^16 entries is
+// already far beyond hardware-realistic SRAM for these structures.
+const maxTableLog2 = 16
+
+// Enabled returns the enabled generator kinds in the deterministic
+// order the hierarchy composes them: the historical NSP → SDP → stride
+// → correlation order, then the zoo additions.
+func (c PrefetchConfig) Enabled() []PrefetchKind {
+	var kinds []PrefetchKind
+	if c.EnableNSP {
+		kinds = append(kinds, PrefetchNSP)
+	}
+	if c.EnableSDP {
+		kinds = append(kinds, PrefetchSDP)
+	}
+	if c.EnableStride {
+		kinds = append(kinds, PrefetchStride)
+	}
+	if c.EnableCorrelation {
+		kinds = append(kinds, PrefetchCorrelation)
+	}
+	if c.EnableBerti {
+		kinds = append(kinds, PrefetchBerti)
+	}
+	if c.EnableGHB {
+		kinds = append(kinds, PrefetchGHB)
+	}
+	return kinds
 }
 
 // Validate checks the prefetch parameters.
@@ -219,6 +352,30 @@ func (c PrefetchConfig) Validate() error {
 		return fmt.Errorf("prefetch: correlation sets must be a positive power of two, got %d", c.CorrelationSets)
 	case c.EnableCorrelation && c.CorrelationAssoc <= 0:
 		return fmt.Errorf("prefetch: correlation associativity must be positive, got %d", c.CorrelationAssoc)
+	}
+	if c.EnableBerti {
+		for _, b := range []struct {
+			name string
+			log2 int
+		}{
+			{"berti history", c.BertiHistoryLog2},
+			{"berti latency", c.BertiLatencyLog2},
+			{"berti shadow", c.BertiShadowLog2},
+		} {
+			if b.log2 <= 0 || b.log2 > maxTableLog2 {
+				return fmt.Errorf("prefetch: %s log2 budget must be in [1,%d], got %d", b.name, maxTableLog2, b.log2)
+			}
+		}
+	}
+	if c.EnableGHB {
+		switch {
+		case c.GHBLog2 <= 0 || c.GHBLog2 > maxTableLog2:
+			return fmt.Errorf("prefetch: ghb log2 budget must be in [1,%d], got %d", maxTableLog2, c.GHBLog2)
+		case c.GHBIndexLog2 <= 0 || c.GHBIndexLog2 > maxTableLog2:
+			return fmt.Errorf("prefetch: ghb index log2 budget must be in [1,%d], got %d", maxTableLog2, c.GHBIndexLog2)
+		case c.GHBMaxDegree <= 0 || c.GHBMaxDegree > 16:
+			return fmt.Errorf("prefetch: ghb max degree must be in [1,16], got %d", c.GHBMaxDegree)
+		}
 	}
 	return nil
 }
@@ -457,6 +614,41 @@ func (c Config) WithL1Ports(ports int) Config {
 		c.L1.LatencyCycles = 2
 	case 5:
 		c.L1.LatencyCycles = 3
+	}
+	return c
+}
+
+// WithGenerator returns a copy of c running exactly one hardware
+// prefetch generator: every generator (and software prefetching) is
+// switched off, then the named kind is enabled with the default table
+// budgets. This is the cell configuration of the (generator × filter)
+// cross-product — it isolates one generator's candidate stream so the
+// pollution filter is judged against that generator alone. An unknown
+// kind leaves every generator off; Validate elsewhere rejects it.
+func (c Config) WithGenerator(kind PrefetchKind) Config {
+	p := &c.Prefetch
+	p.EnableNSP, p.EnableSDP, p.EnableStride, p.EnableCorrelation = false, false, false, false
+	p.EnableBerti, p.EnableGHB = false, false
+	p.EnableSoftware = false
+	switch kind.Canonical() {
+	case PrefetchNSP:
+		p.EnableNSP = true
+	case PrefetchSDP:
+		p.EnableSDP = true
+	case PrefetchStride:
+		p.EnableStride = true
+	case PrefetchCorrelation:
+		p.EnableCorrelation = true
+	case PrefetchBerti:
+		p.EnableBerti = true
+		p.BertiHistoryLog2 = DefaultBertiHistoryLog2
+		p.BertiLatencyLog2 = DefaultBertiLatencyLog2
+		p.BertiShadowLog2 = DefaultBertiShadowLog2
+	case PrefetchGHB:
+		p.EnableGHB = true
+		p.GHBLog2 = DefaultGHBLog2
+		p.GHBIndexLog2 = DefaultGHBIndexLog2
+		p.GHBMaxDegree = DefaultGHBMaxDegree
 	}
 	return c
 }

@@ -87,3 +87,56 @@ func FuzzConfigParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPrefetchConfigValidate fuzzes the generator-zoo budget validation:
+// an enabled Berti/GHB generator must reject zero, negative, and
+// oversized log2 table budgets (and out-of-range GHB degrees), and any
+// config that validates must construct real table sizes — 2^log2 stays
+// in [2, 2^16] for every budget Validate accepted.
+func FuzzPrefetchConfigValidate(f *testing.F) {
+	f.Add(true, 6, 6, 6, false, 8, 7, 4)
+	f.Add(true, 0, 6, 6, false, 8, 7, 4)    // zero history budget
+	f.Add(true, 6, 17, 6, false, 8, 7, 4)   // oversized latency budget
+	f.Add(false, 0, 0, 0, true, 10, 10, 4)  // ghb only
+	f.Add(false, 0, 0, 0, true, -3, 10, 4)  // negative ghb budget
+	f.Add(false, 0, 0, 0, true, 10, 64, 4)  // oversized index budget
+	f.Add(false, 0, 0, 0, true, 10, 10, 0)  // zero degree
+	f.Add(false, 0, 0, 0, true, 10, 10, 99) // oversized degree
+	f.Add(true, 16, 16, 16, true, 16, 16, 16)
+
+	f.Fuzz(func(t *testing.T, berti bool, bHist, bLat, bShadow int,
+		ghb bool, gBuf, gIdx, gDeg int) {
+		cfg := Default()
+		cfg.Prefetch.EnableBerti = berti
+		cfg.Prefetch.BertiHistoryLog2 = bHist
+		cfg.Prefetch.BertiLatencyLog2 = bLat
+		cfg.Prefetch.BertiShadowLog2 = bShadow
+		cfg.Prefetch.EnableGHB = ghb
+		cfg.Prefetch.GHBLog2 = gBuf
+		cfg.Prefetch.GHBIndexLog2 = gIdx
+		cfg.Prefetch.GHBMaxDegree = gDeg
+
+		err := cfg.Prefetch.Validate()
+
+		inRange := func(log2 int) bool { return log2 >= 1 && log2 <= 16 }
+		wantOK := true
+		if berti && (!inRange(bHist) || !inRange(bLat) || !inRange(bShadow)) {
+			wantOK = false
+		}
+		if ghb && (!inRange(gBuf) || !inRange(gIdx) || gDeg < 1 || gDeg > 16) {
+			wantOK = false
+		}
+		if wantOK && err != nil {
+			t.Fatalf("in-range budgets rejected: %+v: %v", cfg.Prefetch, err)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("out-of-range budgets accepted: %+v", cfg.Prefetch)
+		}
+		// Whole-config validation must agree with the prefetch section.
+		if err == nil {
+			if werr := cfg.Validate(); werr != nil {
+				t.Fatalf("prefetch section valid but config invalid: %v", werr)
+			}
+		}
+	})
+}

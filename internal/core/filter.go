@@ -42,6 +42,8 @@ const (
 	SrcStride                    // reference-prediction-table stride
 	SrcCorrelation               // miss-pair correlation
 	SrcSoftware                  // compiler-inserted prefetch instruction
+	SrcBerti                     // Berti-style latency-aware local-delta
+	SrcGHB                       // GHB/PC-delta correlation
 )
 
 // SourceByName maps a prefetcher's registered name to its Source id.
@@ -57,6 +59,10 @@ func SourceByName(name string) Source {
 		return SrcCorrelation
 	case "sw":
 		return SrcSoftware
+	case "berti":
+		return SrcBerti
+	case "ghb":
+		return SrcGHB
 	}
 	return SrcOther
 }

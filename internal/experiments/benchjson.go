@@ -22,15 +22,17 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/prefetch"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
 // BenchEntry is one timed simulation of the bench matrix.
 type BenchEntry struct {
-	// Name is "<benchmark>/<filter>", e.g. "mcf/pa".
+	// Name is "<benchmark>/<generator>/<filter>", e.g. "mcf/nsp/pa".
 	Name      string `json:"name"`
 	Benchmark string `json:"benchmark"`
+	Generator string `json:"generator"`
 	Filter    string `json:"filter"`
 
 	// WallNS is the simulation's wall time in nanoseconds (machine-
@@ -60,6 +62,7 @@ type BenchReport struct {
 	WarmupPerRun       int64    `json:"warmup_per_run"`
 	Seed               uint64   `json:"seed"`
 	Benchmarks         []string `json:"benchmarks"`
+	Generators         []string `json:"generators"`
 	Filters            []string `json:"filters"`
 
 	// TotalWallNS is the whole sweep's wall time under the scheduler;
@@ -90,26 +93,34 @@ var benchFilters = []config.FilterKind{
 	config.FilterPerceptron, config.FilterBloom, config.FilterTournament,
 }
 
-// BenchJSON runs the reduced (benchmark x filter) matrix through the
-// work-stealing scheduler with `jobs` workers, timing every simulation,
-// and returns the report. The context cancels queued simulations.
+// BenchJSON runs the reduced (benchmark x generator x filter) matrix
+// through the work-stealing scheduler with `jobs` workers, timing every
+// simulation, and returns the report. Every cell is a single-generator
+// machine (config.WithGenerator) so the baseline tracks the wall-clock
+// cost of each generator backend under each filter. The context cancels
+// queued simulations.
 func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	generators := prefetch.Sweepable()
 	type unit struct {
 		name   string
 		bench  string
+		gen    config.PrefetchKind
 		filter config.FilterKind
 	}
 	var units []unit
 	for _, b := range p.benchmarks() {
-		for _, f := range benchFilters {
-			units = append(units, unit{
-				name:   b + "/" + string(f),
-				bench:  b,
-				filter: f,
-			})
+		for _, g := range generators {
+			for _, f := range benchFilters {
+				units = append(units, unit{
+					name:   b + "/" + g + "/" + string(f),
+					bench:  b,
+					gen:    config.PrefetchKind(g),
+					filter: f,
+				})
+			}
 		}
 	}
 
@@ -124,7 +135,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				cfg := config.Default().WithFilter(u.filter)
+				cfg := config.Default().WithGenerator(u.gen).WithFilter(u.filter)
 				cfg.Seed = p.Seed
 				start := time.Now()
 				r, err := sim.Run(sim.Options{
@@ -140,6 +151,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 				e := BenchEntry{
 					Name:         u.name,
 					Benchmark:    u.bench,
+					Generator:    string(u.gen),
 					Filter:       string(u.filter),
 					WallNS:       wall.Nanoseconds(),
 					Instructions: r.Instructions,
@@ -162,7 +174,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 	}
 
 	report := &BenchReport{
-		Schema:             1,
+		Schema:             2, // 2: generator axis added to the matrix
 		GoVersion:          runtime.Version(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		Jobs:               jobs,
@@ -170,6 +182,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 		WarmupPerRun:       p.Warmup,
 		Seed:               p.Seed,
 		Benchmarks:         p.benchmarks(),
+		Generators:         generators,
 		TotalWallNS:        total.Nanoseconds(),
 	}
 	for _, f := range benchFilters {

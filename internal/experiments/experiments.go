@@ -190,6 +190,8 @@ func orderKey(id string) int {
 		return 108
 	case "filters":
 		return 109
+	case "generators":
+		return 110
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {

@@ -1,0 +1,141 @@
+// The generators experiment: the prefetch-generator zoo crossed with
+// the pollution-filter zoo. Every registered generator (internal/
+// prefetch) runs alone on the default machine against each requested
+// filter backend plus the unfiltered baseline, so the filters are
+// judged across the full spectrum of prefetch behaviour — sequential,
+// shadow, stride, correlation, latency-aware local-delta, and
+// GHB/PC-delta — not just the paper's NSP/SDP pair (ROADMAP item 3).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/prefetch"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "generators",
+		Title: "Prefetch-generator zoo crossed with the filter zoo (internal/prefetch registry)",
+		Run: func(p *Params) (*Table, error) {
+			// A representative filter slice keeps the full experiment
+			// suite tractable; pfexperiments -generators and the serving
+			// layer expose the complete cross-product.
+			filters := []string{string(config.FilterPA), string(config.FilterPerceptron)}
+			rows, err := p.GeneratorComparison(context.Background(), prefetch.Sweepable(), filters, 0)
+			if err != nil {
+				return nil, err
+			}
+			return report.GeneratorComparison("Generator zoo crossed with filters (default machine)", rows), nil
+		},
+	})
+}
+
+// generatorConfig maps a (generator, filter) pair onto the simulation
+// config running exactly that generator under exactly that filter on
+// the default machine.
+func generatorConfig(gen config.PrefetchKind, kind string) config.Config {
+	return config.Default().WithGenerator(gen).WithFilter(config.FilterKind(kind))
+}
+
+// GeneratorComparison runs the (benchmark × generator × filter)
+// cross-product — plus the unfiltered baseline of each (benchmark,
+// generator) pair that the IPC deltas need — on the work-stealing
+// scheduler and returns the sorted comparison rows. Gens must name
+// registered generator kinds (aliases resolve); filters must name
+// registered, sweepable filter backends. Empty slices select the full
+// registries. Workers <= 0 selects GOMAXPROCS.
+func (p *Params) GeneratorComparison(ctx context.Context, gens, filters []string, workers int) ([]report.GeneratorComparisonRow, error) {
+	if len(gens) == 0 {
+		gens = prefetch.Sweepable()
+	}
+	if len(filters) == 0 {
+		filters = filter.Sweepable()
+	}
+	genSweep := make([]config.PrefetchKind, 0, len(gens))
+	seenGen := map[config.PrefetchKind]bool{}
+	for _, g := range gens {
+		kind := config.PrefetchKind(g).Canonical()
+		if !prefetch.Registered(kind) {
+			return nil, fmt.Errorf("experiments: unknown generator kind %q (registered: %v)", g, prefetch.Kinds())
+		}
+		if !seenGen[kind] {
+			seenGen[kind] = true
+			genSweep = append(genSweep, kind)
+		}
+	}
+	for _, k := range filters {
+		kind := config.FilterKind(k)
+		if kind.Canonical() == config.FilterStatic {
+			return nil, fmt.Errorf("experiments: the static filter needs a profiling run and cannot join the sweep")
+		}
+		if !filter.Registered(kind) {
+			return nil, fmt.Errorf("experiments: unknown filter kind %q (registered: %v)", k, filter.Kinds())
+		}
+	}
+	filterSweep := make([]string, 0, len(filters)+1)
+	seenFil := map[string]bool{}
+	for _, k := range append([]string{string(config.FilterNone)}, filters...) {
+		canon := string(config.FilterKind(k).Canonical())
+		if !seenFil[canon] {
+			seenFil[canon] = true
+			filterSweep = append(filterSweep, canon)
+		}
+	}
+
+	cost := p.costModel()
+	var jobs []sched.Job
+	for _, bench := range p.benchmarks() {
+		bench := bench
+		for _, gen := range genSweep {
+			gen := gen
+			for _, kind := range filterSweep {
+				kind := kind
+				jobs = append(jobs, sched.Job{
+					Key:  bench + "|" + string(gen) + "|" + kind,
+					Cost: cost(bench),
+					Run: func(ctx context.Context) (any, error) {
+						return p.runCtx(ctx, bench, generatorConfig(gen, kind))
+					},
+				})
+			}
+		}
+	}
+	results, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: workers, Metrics: p.Metrics})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, dedupJoin(errs)
+	}
+
+	var rows []report.GeneratorComparisonRow
+	for _, bench := range p.benchmarks() {
+		for _, gen := range genSweep {
+			base := results[bench+"|"+string(gen)+"|"+string(config.FilterNone)].Value.(stats.Run)
+			for _, kind := range filterSweep {
+				r := results[bench+"|"+string(gen)+"|"+kind].Value.(stats.Run)
+				rows = append(rows, report.GeneratorComparisonRow{
+					Generator:           string(gen),
+					FilterComparisonRow: comparisonRow(bench, kind, r, base),
+				})
+			}
+		}
+	}
+	report.SortGeneratorComparison(rows)
+	return rows, nil
+}

@@ -19,6 +19,11 @@ import (
 type MatrixItem struct {
 	Bench  string
 	Config config.Config
+	// Generator labels a generator-axis cell with the prefetch-generator
+	// kind the config runs; empty on plain (benchmark, filter) sweeps.
+	// It is presentation metadata only — the simulated machine is fully
+	// described by Config.
+	Generator string
 }
 
 // StandardMatrix returns the full evaluation matrix the paper-figure

@@ -294,33 +294,13 @@ func New(cfg config.Config, filter core.Filter, rng *xrand.Rand) (*Hierarchy, er
 		h.Dead = db
 	}
 	var parts []prefetch.Prefetcher
-	if cfg.Prefetch.EnableNSP {
-		nsp, err := prefetch.NewNSP(cfg.Prefetch.Degree)
+	env := prefetch.Env{L2: l2}
+	for _, kind := range cfg.Prefetch.Enabled() {
+		p, err := prefetch.New(kind, cfg.Prefetch, env)
 		if err != nil {
 			return nil, err
 		}
-		parts = append(parts, nsp)
-	}
-	if cfg.Prefetch.EnableSDP {
-		sdp, err := prefetch.NewSDP(l2)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, sdp)
-	}
-	if cfg.Prefetch.EnableStride {
-		st, err := prefetch.NewStride(cfg.Prefetch.StrideEntries)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, st)
-	}
-	if cfg.Prefetch.EnableCorrelation {
-		corr, err := prefetch.NewCorrelation(cfg.Prefetch.CorrelationSets, cfg.Prefetch.CorrelationAssoc)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, corr)
+		parts = append(parts, p)
 	}
 	h.HW = prefetch.NewComposite(parts...)
 	h.emitFn = func(c prefetch.Candidate) { h.submit(h.now, c) }
@@ -610,6 +590,7 @@ func (h *Hierarchy) SoftwarePrefetch(now uint64, pc, addr uint64) {
 // carries a cycle argument, including this one).
 func (h *Hierarchy) observe(now uint64, ev prefetch.Event) {
 	h.now = now
+	ev.Cycle = now
 	h.HW.Observe(ev, h.emitFn)
 }
 

@@ -256,6 +256,11 @@ func TestHotpathAnnotationsPinned(t *testing.T) {
 		"hier.(*inflightHeap).push", "hier.(*inflightHeap).pop",
 		"cache.(*Cache).find", "cache.(*Cache).Lookup", "cache.(*Cache).Insert",
 		"prefetch.(*Queue).Contains", "prefetch.(*Queue).Enqueue", "prefetch.(*Queue).Dequeue",
+		"prefetch.pcIndex",
+		"prefetch.(*latencyTable).insert", "prefetch.(*latencyTable).take",
+		"prefetch.(*Berti).train", "prefetch.(*Berti).bestDelta",
+		"prefetch.(*GHB).valid", "prefetch.(*GHB).reconstruct",
+		"prefetch.(*GHB).probeIssued", "prefetch.(*GHB).gateDegree",
 		"filter.(*Perceptron).Predict", "filter.(*Perceptron).Train",
 		"filter.(*Bloom).Predict", "filter.(*Bloom).Train",
 		"core.(*TableFilter).Predict", "core.(*TableFilter).Allow", "core.(*TableFilter).Train",

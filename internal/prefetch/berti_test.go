@@ -1,0 +1,131 @@
+package prefetch
+
+import "testing"
+
+// TestLatencyTableInsertTakeEvict pins the reuse-latency table mechanics:
+// one sample per inserted miss, removal on take, direct-mapped eviction,
+// and uint32-safe elapsed-cycle arithmetic across counter wraparound.
+func TestLatencyTableInsertTakeEvict(t *testing.T) {
+	lt := newLatencyTable(3) // 8 slots
+
+	lt.insert(0x1000, 10)
+	if lat, ok := lt.take(0x1000, 35); !ok || lat != 25 {
+		t.Fatalf("take after insert = (%d,%v), want (25,true)", lat, ok)
+	}
+	// take removes the entry: a second probe of the same line misses.
+	if _, ok := lt.take(0x1000, 40); ok {
+		t.Fatal("second take hit; take must remove the entry")
+	}
+
+	// Two lines sharing the direct-mapped slot: the newer insert evicts
+	// the older, which then misses.
+	a, b := uint64(0x20), uint64(0x20+8) // same index under mask 7
+	if a&lt.mask != b&lt.mask {
+		t.Fatalf("test lines %#x/%#x do not collide under mask %#x", a, b, lt.mask)
+	}
+	lt.insert(a, 100)
+	lt.insert(b, 110)
+	if _, ok := lt.take(a, 120); ok {
+		t.Fatal("evicted line still hit the latency table")
+	}
+	if lat, ok := lt.take(b, 125); !ok || lat != 15 {
+		t.Fatalf("survivor take = (%d,%v), want (15,true)", lat, ok)
+	}
+
+	// Elapsed cycles survive uint32 cycle-counter wraparound.
+	lt.insert(0x3000, (1<<32)-10)
+	if lat, ok := lt.take(0x3000, (1<<32)+10); !ok || lat != 20 {
+		t.Fatalf("wraparound take = (%d,%v), want (20,true)", lat, ok)
+	}
+
+	// Line 0 is the empty marker and can never hit.
+	lt.insert(0, 5)
+	if _, ok := lt.take(0, 10); ok {
+		t.Fatal("line 0 must not hit; zero tags mark empty slots")
+	}
+}
+
+// TestBertiBestDeltaHandBuiltPattern drives Observe with a pure +1-line
+// stride from one PC, with accesses spaced far enough apart that every
+// delta trains as timely (prior cycle + latEst <= now). The +1 delta is
+// trained once more per access than +2, +2 once more than +3, and so on,
+// so +1 must be the first to reach the issue threshold and every emitted
+// candidate targets line+1.
+func TestBertiBestDeltaHandBuiltPattern(t *testing.T) {
+	b, err := NewBerti(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc, base, gap = uint64(0x400), uint64(1 << 20), uint64(1000)
+
+	var got []Candidate
+	for i := uint64(0); i < 16; i++ {
+		b.Observe(Event{PC: pc, LineAddr: base + i, Cycle: (i + 1) * gap},
+			func(c Candidate) { got = append(got, c) })
+	}
+	if b.Triggers == 0 || len(got) == 0 {
+		t.Fatal("strided PC never crossed the confidence threshold")
+	}
+	// With timely bonus 4 the +1 delta earns 4/access starting at the
+	// second access; it crosses bertiConfThresh=32 on the 9th access,
+	// and no emission may precede that.
+	if uint64(len(got)) != b.Triggers {
+		t.Fatalf("emitted %d candidates but Triggers=%d", len(got), b.Triggers)
+	}
+	if len(got) > 8 {
+		t.Fatalf("emitted %d candidates over 16 accesses; threshold crossing allows at most 8", len(got))
+	}
+	for i, c := range got {
+		if c.Source != "berti" {
+			t.Fatalf("candidate %d source = %q, want berti", i, c.Source)
+		}
+		if c.TriggerPC != pc {
+			t.Fatalf("candidate %d trigger PC = %#x, want %#x", i, c.TriggerPC, pc)
+		}
+	}
+	// Every emission targets exactly one line ahead of its trigger.
+	first := got[0].LineAddr
+	for i, c := range got {
+		if c.LineAddr != first+uint64(i) {
+			t.Fatalf("candidate %d targets %#x, want %#x (stride +1)", i, c.LineAddr, first+uint64(i))
+		}
+	}
+
+	// The winning candidate in the trained entry is delta +1.
+	e := &b.hist[pcIndex(pc)&b.histMsk]
+	if e.tag != pc {
+		t.Fatalf("history entry tag = %#x, want %#x", e.tag, pc)
+	}
+	if delta, ok := b.bestDelta(e); !ok || delta != 1 {
+		t.Fatalf("bestDelta = (%d,%v), want (1,true)", delta, ok)
+	}
+}
+
+// TestBertiBestDeltaTieBreak pins the deterministic tie-break: equal
+// confidence resolves to the lowest candidate index.
+func TestBertiBestDeltaTieBreak(t *testing.T) {
+	b, err := NewBerti(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &bertiEntry{tag: 0x40}
+	pack := func(delta int16, conf uint32) uint32 {
+		return uint32(uint16(delta))<<8 | conf
+	}
+	e.cand[1] = pack(7, bertiConfThresh)
+	e.cand[3] = pack(-2, bertiConfThresh) // same confidence, higher index
+	if delta, ok := b.bestDelta(e); !ok || delta != 7 {
+		t.Fatalf("bestDelta = (%d,%v), want first-index winner (7,true)", delta, ok)
+	}
+	// A strictly higher confidence beats the earlier index.
+	e.cand[3] = pack(-2, bertiConfThresh+1)
+	if delta, ok := b.bestDelta(e); !ok || delta != -2 {
+		t.Fatalf("bestDelta = (%d,%v), want higher-confidence (-2,true)", delta, ok)
+	}
+	// Below threshold nothing is eligible.
+	e.cand[1] = pack(7, bertiConfThresh-1)
+	e.cand[3] = pack(-2, bertiConfThresh-1)
+	if _, ok := b.bestDelta(e); ok {
+		t.Fatal("bestDelta returned a candidate below the issue threshold")
+	}
+}

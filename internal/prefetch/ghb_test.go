@@ -1,0 +1,160 @@
+package prefetch
+
+import "testing"
+
+// ghbMiss drives one L1-missing access through Observe, discarding any
+// emitted candidates unless a sink is given.
+func ghbMiss(g *GHB, pc, line uint64, sink *[]Candidate) {
+	emit := func(Candidate) {}
+	if sink != nil {
+		emit = func(c Candidate) { *sink = append(*sink, c) }
+	}
+	g.Observe(Event{PC: pc, LineAddr: line}, emit)
+}
+
+// TestGHBReconstructChain pins the link-chain walk: misses from two PCs
+// interleave in the global ring, yet each PC's chain reconstructs only
+// its own misses, newest-first.
+func TestGHBReconstructChain(t *testing.T) {
+	g, err := NewGHB(4, 8, 1) // 16-entry ring, 256-slot index
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcA, pcB := uint64(0x400), uint64(0x800)
+	if pcIndex(pcA)&g.idxMask == pcIndex(pcB)&g.idxMask {
+		t.Fatalf("test PCs collide in the index table; pick different PCs")
+	}
+
+	// Interleave: A misses 10,20,30,40 with B misses 7,8,9 in between.
+	ghbMiss(g, pcA, 10, nil)
+	ghbMiss(g, pcB, 7, nil)
+	ghbMiss(g, pcA, 20, nil)
+	ghbMiss(g, pcB, 8, nil)
+	ghbMiss(g, pcA, 30, nil)
+	ghbMiss(g, pcB, 9, nil)
+	ghbMiss(g, pcA, 40, nil)
+
+	depth := g.reconstruct(g.idxPos[pcIndex(pcA)&g.idxMask])
+	if depth != 4 {
+		t.Fatalf("PC A chain depth = %d, want 4", depth)
+	}
+	for i, want := range []uint64{40, 30, 20, 10} {
+		if g.chain[i] != want {
+			t.Fatalf("chain[%d] = %d, want %d (newest-first)", i, g.chain[i], want)
+		}
+	}
+	depth = g.reconstruct(g.idxPos[pcIndex(pcB)&g.idxMask])
+	if depth != 3 {
+		t.Fatalf("PC B chain depth = %d, want 3", depth)
+	}
+	for i, want := range []uint64{9, 8, 7} {
+		if g.chain[i] != want {
+			t.Fatalf("chain[%d] = %d, want %d (newest-first)", i, g.chain[i], want)
+		}
+	}
+}
+
+// TestGHBReconstructStopsAtOverwrittenEntries pins ring-overwrite
+// validity: once the FIFO wraps, links that point at recycled positions
+// are recognised as stale and terminate the walk instead of
+// reconstructing another PC's (or a newer) miss.
+func TestGHBReconstructStopsAtOverwrittenEntries(t *testing.T) {
+	g, err := NewGHB(2, 8, 1) // tiny 4-entry ring forces overwrites
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcA, pcB := uint64(0x400), uint64(0x800)
+
+	// Two A misses, then four B misses that overwrite the entire ring.
+	ghbMiss(g, pcA, 100, nil)
+	ghbMiss(g, pcA, 200, nil)
+	for i := uint64(0); i < 4; i++ {
+		ghbMiss(g, pcB, 1000+i, nil)
+	}
+
+	// A's stored position now points at a recycled slot: depth 0.
+	if depth := g.reconstruct(g.idxPos[pcIndex(pcA)&g.idxMask]); depth != 0 {
+		t.Fatalf("stale chain depth = %d, want 0 after ring overwrite", depth)
+	}
+	// B's newest entry is valid, but its oldest link left the ring, so
+	// the walk recovers exactly the ring's worth of B misses.
+	if depth := g.reconstruct(g.idxPos[pcIndex(pcB)&g.idxMask]); depth != 4 {
+		t.Fatalf("live chain depth = %d, want 4 (full ring)", depth)
+	}
+	for i, want := range []uint64{1003, 1002, 1001, 1000} {
+		if g.chain[i] != want {
+			t.Fatalf("chain[%d] = %d, want %d", i, g.chain[i], want)
+		}
+	}
+}
+
+// TestGHBDegreeProperty drives the accuracy gate through both regimes
+// and asserts the degree contract: the degree never leaves
+// [1, maxDegree], escalates only under sustained accuracy, and once the
+// useful counters fall it de-escalates monotonically — one step per
+// closed window — back to 1.
+func TestGHBDegreeProperty(t *testing.T) {
+	const maxDeg = 4
+	g, err := NewGHB(10, 10, maxDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Regime 1: a perfect unit stride. Every prediction is demanded a
+	// step later, so accuracy stays ~100% and the degree must climb to
+	// maxDegree without ever exceeding it.
+	line := uint64(1 << 20)
+	for i := 0; i < 2000; i++ {
+		ghbMiss(g, 0x400, line, nil)
+		line++
+		if d := g.Degree(); d < 1 || d > maxDeg {
+			t.Fatalf("degree %d left [1,%d] during accurate regime", d, maxDeg)
+		}
+	}
+	if g.Degree() != maxDeg {
+		t.Fatalf("degree = %d after accurate stride, want max %d", g.Degree(), maxDeg)
+	}
+	if g.Escalations == 0 || g.Useful == 0 {
+		t.Fatalf("accurate regime recorded Escalations=%d Useful=%d, want both > 0", g.Escalations, g.Useful)
+	}
+
+	// Regime 2: the recurring delta 1 is always followed by a jump that
+	// never repeats, so the fallback single-delta match keeps issuing
+	// prefetches (toward the PREVIOUS jump) that are never demanded.
+	// Useful counters starve and every closed window must step the
+	// degree down by exactly one until it floors at 1.
+	usefulBefore := g.Useful
+	prevDeg := g.Degree()
+	sawDecrease := false
+	line = uint64(1 << 30)
+	for i := 0; i < 4000; i++ {
+		ghbMiss(g, 0x800, line, nil)
+		line++ // delta 1: recurs, triggers the fallback match
+		ghbMiss(g, 0x800, line, nil)
+		line += uint64(1_000_000 + i*64) // unique jump: never predicted, never demanded
+
+		d := g.Degree()
+		if d < 1 || d > maxDeg {
+			t.Fatalf("degree %d left [1,%d] during useless regime", d, maxDeg)
+		}
+		if d < prevDeg {
+			if prevDeg-d != 1 {
+				t.Fatalf("degree fell %d -> %d in one window; de-escalation must be single-step", prevDeg, d)
+			}
+			sawDecrease = true
+		}
+		if sawDecrease && d > prevDeg {
+			t.Fatalf("degree rose %d -> %d while useful counters were starved", prevDeg, d)
+		}
+		prevDeg = d
+	}
+	if g.Degree() != 1 {
+		t.Fatalf("degree = %d after useless regime, want floor 1", g.Degree())
+	}
+	if g.Useful != usefulBefore {
+		t.Fatalf("useless regime still recorded %d useful prefetches", g.Useful-usefulBefore)
+	}
+	if g.DeEscalations < maxDeg-1 {
+		t.Fatalf("DeEscalations = %d, want at least %d to fall from max to 1", g.DeEscalations, maxDeg-1)
+	}
+}

@@ -36,6 +36,7 @@ type Candidate struct {
 type Event struct {
 	PC          uint64
 	LineAddr    uint64
+	Cycle       uint64 // cycle the access was made; drives latency-aware generators
 	IsStore     bool
 	L1Hit       bool
 	L1HitTagged bool // hit line had its prefetch tag (PIB) set

@@ -214,3 +214,52 @@ func TestQueuePropertyInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQueueContainsAfterWraparound is the regression test for the PR 3
+// ghost-line fix: Dequeue must zero the addrs mirror so that once the
+// ring wraps (head+count > cap, the two-run Contains scan), lines that
+// were dequeued neither report as present nor squash their own
+// re-enqueue as a duplicate.
+func TestQueueContainsAfterWraparound(t *testing.T) {
+	q, _ := NewQueue(4)
+	for _, a := range []uint64{0xA, 0xB, 0xC, 0xD} {
+		if !q.Enqueue(Candidate{LineAddr: a}, 1) {
+			t.Fatalf("enqueue %#x failed", a)
+		}
+	}
+	// Vacate the first two slots, then wrap the tail back over them.
+	q.Dequeue() // 0xA
+	q.Dequeue() // 0xB
+	if !q.Enqueue(Candidate{LineAddr: 0xE}, 2) {
+		t.Fatal("enqueue 0xE failed")
+	}
+	// State: head=2, tail=1, count=3 — the occupied window wraps the
+	// array boundary, so Contains takes the two-run path, and slot 1
+	// (0xB's old home) is a vacated, zeroed mirror slot inside the array.
+	if q.head+q.count <= q.Cap() {
+		t.Fatalf("queue not wrapped (head=%d count=%d cap=%d); test must exercise the two-run scan", q.head, q.count, q.Cap())
+	}
+
+	for _, a := range []uint64{0xC, 0xD, 0xE} {
+		if !q.Contains(a) {
+			t.Fatalf("queued line %#x not found by wrapped Contains", a)
+		}
+	}
+	for _, a := range []uint64{0xA, 0xB} {
+		if q.Contains(a) {
+			t.Fatalf("dequeued line %#x still reported present (ghost mirror entry)", a)
+		}
+	}
+
+	// A dequeued line must be re-enqueueable, not squashed as a duplicate.
+	squashedBefore := q.Squashed
+	if !q.Enqueue(Candidate{LineAddr: 0xB}, 3) {
+		t.Fatal("re-enqueue of dequeued line 0xB was rejected")
+	}
+	if q.Squashed != squashedBefore {
+		t.Fatal("re-enqueue of dequeued line counted as a squashed duplicate")
+	}
+	if !q.Contains(0xB) {
+		t.Fatal("re-enqueued line 0xB not found")
+	}
+}

@@ -29,6 +29,42 @@ func SortFilterComparison(rows []FilterComparisonRow) {
 	})
 }
 
+// GeneratorComparisonRow is one (benchmark, generator, filter) cell of
+// the cross-product sweep: the filter head-to-head metrics, attributed
+// to the prefetch generator that produced the candidates. IPCDelta is
+// against the unfiltered run of the same (benchmark, generator) pair.
+type GeneratorComparisonRow struct {
+	Generator string `json:"generator"`
+	FilterComparisonRow
+}
+
+// SortGeneratorComparison orders rows benchmark-major, then generator,
+// then filter — the stable order every renderer presents.
+func SortGeneratorComparison(rows []GeneratorComparisonRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Benchmark != rows[j].Benchmark {
+			return rows[i].Benchmark < rows[j].Benchmark
+		}
+		if rows[i].Generator != rows[j].Generator {
+			return rows[i].Generator < rows[j].Generator
+		}
+		return rows[i].Filter < rows[j].Filter
+	})
+}
+
+// GeneratorComparison renders the (generator × filter) cross-product
+// table.
+func GeneratorComparison(title string, rows []GeneratorComparisonRow) *Table {
+	t := New(title, "benchmark", "generator", "filter", "good", "bad", "filtered",
+		"accuracy", "coverage", "IPC", "dIPC")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Generator, r.Filter, I(r.Good), I(r.Bad), I(r.Filtered),
+			Pct(r.Accuracy), Pct(r.Coverage), F(r.IPC), F(r.IPCDelta))
+	}
+	t.AddNote("accuracy = good/(good+bad); coverage = good/(good + L1 demand misses); dIPC vs the unfiltered (none) run of the same (benchmark, generator)")
+	return t
+}
+
 // FilterComparison renders the head-to-head backend table.
 func FilterComparison(title string, rows []FilterComparisonRow) *Table {
 	t := New(title, "benchmark", "filter", "good", "bad", "filtered",

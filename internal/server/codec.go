@@ -11,6 +11,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/filter"
+	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -55,7 +56,14 @@ type SweepRequest struct {
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Filters to cross with the benchmarks; empty means none/pa/pc.
 	Filters []string `json:"filters,omitempty"`
-	CacheKB int      `json:"cache_kb,omitempty"`
+	// Generators adds a third sweep axis: each named prefetch generator
+	// (internal/prefetch registry; aliases resolve) runs alone against
+	// every (benchmark, filter) cell, and the response carries the
+	// per-(benchmark, generator, filter) comparison. ["all"] expands to
+	// every registered generator. Empty keeps the config's default
+	// generator mix and the plain filters comparison.
+	Generators []string `json:"generators,omitempty"`
+	CacheKB    int      `json:"cache_kb,omitempty"`
 
 	Instructions int64  `json:"instructions,omitempty"`
 	Warmup       *int64 `json:"warmup,omitempty"`
@@ -65,9 +73,13 @@ type SweepRequest struct {
 
 // RunResult is one simulation's outcome inside a response.
 type RunResult struct {
-	// Name labels the cell as "<benchmark>/<filter>".
+	// Name labels the cell as "<benchmark>/<filter>", or
+	// "<benchmark>/<generator>/<filter>" on a generator sweep.
 	Name      string `json:"name"`
 	Benchmark string `json:"benchmark"`
+	// Generator is the prefetch generator of a generator-axis cell;
+	// empty on plain sweeps.
+	Generator string `json:"generator,omitempty"`
 	Filter    string `json:"filter"`
 
 	IPC        float64 `json:"ipc"`
@@ -107,6 +119,10 @@ type SweepResponse struct {
 	// and IPC delta against the benchmark's unfiltered ("none") cell when
 	// the sweep includes one.
 	Comparison []report.FilterComparisonRow `json:"comparison,omitempty"`
+	// GeneratorComparison replaces Comparison on generator sweeps: one
+	// row per (benchmark, generator, filter) cell, IPC deltas against
+	// the same (benchmark, generator) pair's unfiltered cell.
+	GeneratorComparison []report.GeneratorComparisonRow `json:"generator_comparison,omitempty"`
 }
 
 type errorResponse struct {
@@ -196,17 +212,57 @@ func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixI
 		// registry (the static filter needs a profiling run and is skipped).
 		filters = filter.Sweepable()
 	}
-	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters))
+	gens, err := expandGenerators(req.Generators)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters)*max(1, len(gens)))
 	for _, f := range filters {
 		cfg, err := buildConfig(f, req.CacheKB, 0, 0, false)
 		if err != nil {
 			return nil, err
 		}
-		for _, b := range benches {
-			items = append(items, experiments.MatrixItem{Bench: b, Config: cfg})
+		if len(gens) == 0 {
+			for _, b := range benches {
+				items = append(items, experiments.MatrixItem{Bench: b, Config: cfg})
+			}
+			continue
+		}
+		for _, g := range gens {
+			gcfg := cfg.WithGenerator(g)
+			for _, b := range benches {
+				items = append(items, experiments.MatrixItem{Bench: b, Config: gcfg, Generator: string(g)})
+			}
 		}
 	}
 	return items, nil
+}
+
+// expandGenerators resolves the generators dimension: ["all"] becomes
+// every registered generator kind, names resolve through their aliases,
+// and an unknown kind is a request error (HTTP 400).
+func expandGenerators(names []string) ([]config.PrefetchKind, error) {
+	if len(names) == 1 && names[0] == "all" {
+		reg := prefetch.Sweepable()
+		out := make([]config.PrefetchKind, len(reg))
+		for i, g := range reg {
+			out[i] = config.PrefetchKind(g)
+		}
+		return out, nil
+	}
+	out := make([]config.PrefetchKind, 0, len(names))
+	seen := map[config.PrefetchKind]bool{}
+	for _, g := range names {
+		kind := config.PrefetchKind(g).Canonical()
+		if !prefetch.Registered(kind) {
+			return nil, fmt.Errorf("unknown generator %q (registered generators: %v)", g, prefetch.Kinds())
+		}
+		if !seen[kind] {
+			seen[kind] = true
+			out = append(out, kind)
+		}
+	}
+	return out, nil
 }
 
 // buildComparison derives the head-to-head rows from the successful
@@ -248,11 +304,59 @@ func buildComparison(results []RunResult) []report.FilterComparisonRow {
 	return rows
 }
 
+// buildGeneratorComparison derives the cross-product rows from a
+// generator sweep's successful cells. IPC deltas are against the same
+// (benchmark, generator) pair's "none" cell; pairs without one report
+// zero deltas.
+func buildGeneratorComparison(results []RunResult) []report.GeneratorComparisonRow {
+	baseIPC := make(map[string]float64)
+	for _, r := range results {
+		if r.Run != nil && config.FilterKind(r.Filter).Canonical() == config.FilterNone {
+			baseIPC[r.Benchmark+"|"+r.Generator] = r.IPC
+		}
+	}
+	var rows []report.GeneratorComparisonRow
+	for _, r := range results {
+		if r.Run == nil {
+			continue
+		}
+		cov := 0.0
+		if denom := r.Run.Prefetches.Good + r.Run.L1DemandMisses; denom > 0 {
+			cov = float64(r.Run.Prefetches.Good) / float64(denom)
+		}
+		delta := 0.0
+		if base, ok := baseIPC[r.Benchmark+"|"+r.Generator]; ok {
+			delta = r.IPC - base
+		}
+		rows = append(rows, report.GeneratorComparisonRow{
+			Generator: r.Generator,
+			FilterComparisonRow: report.FilterComparisonRow{
+				Benchmark: r.Benchmark,
+				Filter:    r.Filter,
+				Good:      r.Run.Prefetches.Good,
+				Bad:       r.Run.Prefetches.Bad,
+				Filtered:  r.Run.Prefetches.Filtered,
+				Accuracy:  r.Run.Prefetches.GoodFraction(),
+				Coverage:  cov,
+				IPC:       r.IPC,
+				IPCDelta:  delta,
+			},
+		})
+	}
+	report.SortGeneratorComparison(rows)
+	return rows
+}
+
 // resultFor assembles one RunResult from a matrix item and its run.
 func resultFor(item experiments.MatrixItem, r *stats.Run, wallNS int64, err error) RunResult {
+	name := item.Bench + "/" + string(item.Config.Filter.Kind)
+	if item.Generator != "" {
+		name = item.Bench + "/" + item.Generator + "/" + string(item.Config.Filter.Kind)
+	}
 	out := RunResult{
-		Name:      item.Bench + "/" + string(item.Config.Filter.Kind),
+		Name:      name,
 		Benchmark: item.Bench,
+		Generator: item.Generator,
 		Filter:    string(item.Config.Filter.Kind),
 		WallNS:    wallNS,
 	}

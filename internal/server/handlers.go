@@ -248,7 +248,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, resultFor(c.item, &run, res.Wall.Nanoseconds(), nil))
 	}
-	resp.Comparison = buildComparison(resp.Results)
+	if len(req.Generators) > 0 {
+		resp.GeneratorComparison = buildGeneratorComparison(resp.Results)
+	} else {
+		resp.Comparison = buildComparison(resp.Results)
+	}
 	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
 	writeJSON(w, http.StatusOK, resp)
 }

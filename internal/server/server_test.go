@@ -464,3 +464,93 @@ func TestSweepFiltersAllWithComparison(t *testing.T) {
 		t.Fatalf("pa delta %g inconsistent with IPCs %g/%g", paRow.IPCDelta, paRow.IPC, noneRow.IPC)
 	}
 }
+
+func TestSweepUnknownGeneratorRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"generators":["bogus"],"instructions":30000}`)
+	if status != 400 {
+		t.Fatalf("unknown generator: status = %d (body %s)", status, body)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bogus", "registered generators", "nsp", "sdp", "stride", "corr", "berti", "ghb"} {
+		if !strings.Contains(resp.Error, want) {
+			t.Fatalf("400 body should name %q, got: %s", want, resp.Error)
+		}
+	}
+}
+
+func TestSweepGeneratorsAllCrossProduct(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 8, MaxSweepJobs: 64})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["stream"],"generators":["all"],"filters":["all"],"instructions":30000,"warmup":10000}`)
+	if status != 200 {
+		t.Fatalf("generators=all sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors != 0 {
+		t.Fatalf("errors=%d: %s", resp.Errors, body)
+	}
+	gens := map[string]map[string]bool{}
+	for _, r := range resp.Results {
+		if r.Generator == "" {
+			t.Fatalf("generator-axis cell missing generator label: %+v", r)
+		}
+		if want := r.Benchmark + "/" + r.Generator + "/" + r.Filter; r.Name != want {
+			t.Fatalf("cell name = %q, want %q", r.Name, want)
+		}
+		if gens[r.Generator] == nil {
+			gens[r.Generator] = map[string]bool{}
+		}
+		gens[r.Generator][r.Filter] = true
+	}
+	if len(gens) < 5 {
+		t.Fatalf("generators=all should cover >= 5 generators, got %d (%v)", len(gens), gens)
+	}
+	for _, g := range []string{"nsp", "sdp", "stride", "corr", "berti", "ghb"} {
+		filters := gens[g]
+		if filters == nil {
+			t.Fatalf("generators=all missing generator %q", g)
+		}
+		if len(filters) < 6 {
+			t.Fatalf("generator %q should cross >= 6 filters, got %d (%v)", g, len(filters), filters)
+		}
+	}
+	if len(resp.Comparison) != 0 {
+		t.Fatalf("generator sweep should use generator_comparison, got plain comparison: %d rows", len(resp.Comparison))
+	}
+	if len(resp.GeneratorComparison) != len(resp.Results) {
+		t.Fatalf("generator comparison rows = %d, results = %d", len(resp.GeneratorComparison), len(resp.Results))
+	}
+	for _, c := range resp.GeneratorComparison {
+		if c.Filter == "none" && c.IPCDelta != 0 {
+			t.Fatalf("baseline delta must be 0: %+v", c)
+		}
+	}
+}
+
+func TestSweepGeneratorAliasCanonicalized(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"generators":["ghb-pc-delta","ghb","correlation"],"filters":["none"],"instructions":30000,"warmup":10000}`)
+	if status != 200 {
+		t.Fatalf("alias sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, r := range resp.Results {
+		got[r.Generator]++
+	}
+	if len(got) != 2 || got["ghb"] != 1 || got["corr"] != 1 {
+		t.Fatalf("aliases should canonicalize and dedup to ghb+corr, got %v", got)
+	}
+}
