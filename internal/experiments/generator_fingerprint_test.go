@@ -23,7 +23,7 @@ var generatorFingerprintSHA256 = map[string]string{
 	"sdp":    "0e812077521b83cb851e280c2736edee81a7f0612e64c2878315f05f38e61e9a",
 	"stride": "631c22a4afa10879fa722b10d00e22ea22b947a90edcd36926eb6fe849dc62fb",
 	"corr":   "0c9ec21fe7ed329d15c6f1cb5d2adbb8c1a6a63f6a0181096047e849b26fd3e9",
-	"berti":  "72bae28e8aa9f78b645aa819b0558b0c67a08f49e985c73dd82f8f5094820f19",
+	"berti":  "4521514cc63e3e988c75addec71f2c1b61ff5581aff97f53f7d474deb1e7e397",
 	"ghb":    "81321adaa04757898eac7858a4e57a157fdcff0758fb6cb54744851bf677e91f",
 }
 

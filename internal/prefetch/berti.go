@@ -101,17 +101,19 @@ func (t *latencyTable) take(line, now uint64) (uint32, bool) {
 	return uint32(now) - t.cycles[idx], true
 }
 
-// shadowTable remembers recently issued prefetches: the target line,
-// the (truncated) issue cycle, and the delta that produced it.
+// shadowTable remembers recently issued prefetches: the target line and
+// the issue cycle. The cycle is kept at 32 bits so elapsed-time
+// classification stays correct for entries that sit far longer than the
+// 2^16-cycle horizon a packed 16-bit stamp would allow.
 type shadowTable struct {
-	tags []uint64
-	meta []uint32 // uint32(uint16(cycle))<<16 | uint32(uint16(delta))
-	mask uint64
+	tags   []uint64
+	cycles []uint32
+	mask   uint64
 }
 
 func newShadowTable(log2 int) shadowTable {
 	n := 1 << log2
-	return shadowTable{tags: make([]uint64, n), meta: make([]uint32, n), mask: uint64(n - 1)}
+	return shadowTable{tags: make([]uint64, n), cycles: make([]uint32, n), mask: uint64(n - 1)}
 }
 
 // NewBerti builds a Berti prefetcher with 2^historyLog2 PC entries, a
@@ -140,9 +142,12 @@ func (b *Berti) Observe(ev Event, emit func(Candidate)) {
 	now := ev.Cycle
 
 	// Close the latency loop: a touch of a line whose miss is still in
-	// the latency table yields one reuse-latency sample.
+	// the latency table yields one reuse-latency sample. The EWMA step
+	// must be signed: a sample below the estimate makes (lat - latEst)
+	// negative, and the unsigned subtract-and-logical-shift form wraps
+	// it to ~2^29, destroying the estimate.
 	if lat, ok := b.latency.take(ev.LineAddr, now); ok {
-		b.latEst += (lat - b.latEst) >> bertiLatencyShift
+		b.latEst = uint32(int64(b.latEst) + (int64(lat)-int64(b.latEst))>>bertiLatencyShift)
 	}
 	if !ev.L1Hit && !ev.L2Hit {
 		b.latency.insert(ev.LineAddr, now)
@@ -153,8 +158,10 @@ func (b *Berti) Observe(ev Event, emit func(Candidate)) {
 	if b.shadow.tags[sIdx] == ev.LineAddr {
 		b.shadow.tags[sIdx] = 0
 		b.Useful++
-		elapsed := uint16(now) - uint16(b.shadow.meta[sIdx]>>16)
-		if uint32(elapsed) >= b.latEst {
+		// uint32 subtraction stays correct across cycle-counter
+		// wraparound, exactly like latencyTable.take.
+		elapsed := uint32(now) - b.shadow.cycles[sIdx]
+		if elapsed >= b.latEst {
 			b.Timely++
 		}
 	}
@@ -181,7 +188,7 @@ func (b *Berti) Observe(ev Event, emit func(Candidate)) {
 			tgt := uint64(next)
 			i := tgt & b.shadow.mask
 			b.shadow.tags[i] = tgt
-			b.shadow.meta[i] = uint32(uint16(now))<<16 | uint32(uint16(delta))
+			b.shadow.cycles[i] = uint32(now)
 			emit(Candidate{LineAddr: tgt, TriggerPC: ev.PC, Source: "berti"})
 		}
 	}

@@ -101,6 +101,72 @@ func TestBertiBestDeltaHandBuiltPattern(t *testing.T) {
 	}
 }
 
+// TestBertiLatencyEWMASigned pins the signed EWMA update: a reuse-
+// latency sample below the current estimate must move the estimate
+// DOWN. The original unsigned form `latEst += (lat-latEst)>>shift`
+// wrapped the negative difference and exploded the estimate from the
+// 64-cycle seed to ~2^29 after a single 8-cycle sample, after which the
+// timeliness checks never fired again.
+func TestBertiLatencyEWMASigned(t *testing.T) {
+	b, err := NewBerti(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := func(Candidate) {}
+
+	// An L2 miss enters the latency table; re-touching the line 8 cycles
+	// later closes the loop with one 8-cycle sample.
+	b.Observe(Event{PC: 0x40, LineAddr: 0x500, Cycle: 100}, drop)
+	b.Observe(Event{PC: 0x40, LineAddr: 0x500, Cycle: 108}, drop)
+	want := uint32(bertiSeedLatency + (8-bertiSeedLatency)>>bertiLatencyShift) // 64 - 7 = 57
+	if b.latEst != want {
+		t.Fatalf("latEst after 8-cycle sample = %d, want %d (must decrease, not wrap)", b.latEst, want)
+	}
+
+	// A sample above the estimate still raises it. The second touch
+	// above re-inserted 0x500 (it was an L2 miss), so touch it again.
+	b.Observe(Event{PC: 0x40, LineAddr: 0x500, Cycle: 108 + 121}, drop)
+	want = 57 + (121-57)>>bertiLatencyShift // 57 + 8 = 65
+	if b.latEst != want {
+		t.Fatalf("latEst after 121-cycle sample = %d, want %d", b.latEst, want)
+	}
+}
+
+// TestBertiShadowTimelyWideElapsed pins the 32-bit shadow issue stamp:
+// a demand arriving more than 2^16 cycles after the prefetch was issued
+// is unambiguously timely, where the old 16-bit-truncated stamp wrapped
+// the elapsed time to ~10 cycles and misclassified it.
+func TestBertiShadowTimelyWideElapsed(t *testing.T) {
+	b, err := NewBerti(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := func(Candidate) {}
+
+	// A demand only 10 cycles after issue beat the prefetch home: useful
+	// but not timely.
+	early := uint64(0x700)
+	i := early & b.shadow.mask
+	b.shadow.tags[i] = early
+	b.shadow.cycles[i] = 100
+	b.Observe(Event{PC: 0x40, LineAddr: early, Cycle: 110, L1Hit: true}, drop)
+	if b.Useful != 1 || b.Timely != 0 {
+		t.Fatalf("early demand: Useful=%d Timely=%d, want 1,0", b.Useful, b.Timely)
+	}
+
+	// A demand 2^16+10 cycles after issue is long past the latency
+	// estimate. Under 16-bit truncation the elapsed wrapped to 10 and
+	// this counted as not timely.
+	late := uint64(0x780)
+	i = late & b.shadow.mask
+	b.shadow.tags[i] = late
+	b.shadow.cycles[i] = 100
+	b.Observe(Event{PC: 0x40, LineAddr: late, Cycle: 100 + (1 << 16) + 10, L1Hit: true}, drop)
+	if b.Useful != 2 || b.Timely != 1 {
+		t.Fatalf("long-lived demand: Useful=%d Timely=%d, want 2,1", b.Useful, b.Timely)
+	}
+}
+
 // TestBertiBestDeltaTieBreak pins the deterministic tie-break: equal
 // confidence resolves to the lowest candidate index.
 func TestBertiBestDeltaTieBreak(t *testing.T) {

@@ -97,7 +97,10 @@ func (g *GHB) Observe(ev Event, emit func(Candidate)) {
 	}
 	pos := g.n % g.size
 	g.addrs[pos] = ev.LineAddr
-	if g.valid(prev) {
+	// Strict < here, not valid()'s <=: before g.n advances, an entry at
+	// distance exactly size lives in the very ring slot this push
+	// overwrites, so linking to it would store a self-referential link.
+	if prev != 0 && g.n-(prev-1) < g.size {
 		g.links[pos] = prev
 	} else {
 		g.links[pos] = 0

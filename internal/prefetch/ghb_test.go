@@ -88,6 +88,37 @@ func TestGHBReconstructStopsAtOverwrittenEntries(t *testing.T) {
 	}
 }
 
+// TestGHBNoSelfLinkAtRingCapacity pins the link-setup staleness check:
+// when a PC's previous miss is exactly `size` pushes old, it occupies
+// the very ring slot the new push overwrites, so the stored link must
+// be cleared rather than left pointing at the new entry itself.
+func TestGHBNoSelfLinkAtRingCapacity(t *testing.T) {
+	g, err := NewGHB(2, 8, 1) // 4-entry ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcA := uint64(0x400)
+	ghbMiss(g, pcA, 100, nil) // position 0
+	for i, pc := range []uint64{0x800, 0xc00, 0x1000} {
+		ghbMiss(g, pc, 1000+uint64(i), nil) // positions 1..3
+	}
+	// Precondition: the fillers must not have evicted A's index entry.
+	if g.idxTags[pcIndex(pcA)&g.idxMask] != pcA {
+		t.Fatalf("filler PCs collided with A in the index table; pick different PCs")
+	}
+
+	// A's next miss reuses position 0 while its previous miss (also
+	// position 0, exactly size pushes old) is being overwritten.
+	ghbMiss(g, pcA, 200, nil)
+	if g.links[0] != 0 {
+		t.Fatalf("links[0] = %d, want 0 (self-referential link to the overwritten slot)", g.links[0])
+	}
+	// The chain from A's newest miss holds only that miss.
+	if depth := g.reconstruct(g.idxPos[pcIndex(pcA)&g.idxMask]); depth != 1 || g.chain[0] != 200 {
+		t.Fatalf("chain depth = %d chain[0] = %d, want 1, 200", depth, g.chain[0])
+	}
+}
+
 // TestGHBDegreeProperty drives the accuracy gate through both regimes
 // and asserts the degree contract: the degree never leaves
 // [1, maxDegree], escalates only under sustained accuracy, and once the
