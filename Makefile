@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke
+.PHONY: build test race lint fuzz-smoke bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,18 @@ lint:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzConfigString -fuzztime=30s ./internal/config/
 	$(GO) test -run=NONE -fuzz=FuzzHistoryTableIndex -fuzztime=30s ./internal/core/
+
+# Real-trace pipeline smoke (docs/TRACES.md): convert the checked-in
+# ChampSim fixture, assert the pinned fingerprint, replay the corpus.
+trace-smoke:
+	$(GO) build -o pftrace ./cmd/pftrace
+	./pftrace convert -o sample.pftc -manifest corpus.json -name sample \
+		internal/tracefile/testdata/sample.champsim.gz
+	./pftrace info -json sample.pftc | \
+		grep -q "$$(cat internal/tracefile/testdata/sample.fingerprint)"
+	$(GO) run ./cmd/pfexperiments -traces corpus.json -n 20000 -warmup 5000
+	$(GO) test -run 'TestSampleFixture|TestTraceComparisonDeterministicAcrossWorkers' \
+		./internal/tracefile/ ./internal/experiments/
 
 # Reduced bench matrix; see docs/PERFORMANCE.md for the full policy.
 bench-smoke:

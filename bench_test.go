@@ -320,8 +320,10 @@ func BenchmarkCachePressure(b *testing.B) {
 
 func init() {
 	// Fail fast if the experiment registry ever drifts from the
-	// artifacts the benchmarks above cover.
-	if got := len(experiments.All()); got != 29 {
+	// artifacts the benchmarks above cover. The "traces" experiment has
+	// no benchmark entry: without a registered corpus it renders a
+	// note-only table, so there is nothing stable to time here.
+	if got := len(experiments.All()); got != 30 {
 		panic(fmt.Sprintf("bench harness out of date: %d experiments registered", got))
 	}
 }

@@ -14,6 +14,8 @@
 //	pfexperiments -filters pa,perceptron,bloom -bench mcf
 //	pfexperiments -generators all -filters all   # full (generator x filter) cross-product
 //	pfexperiments -generators berti,ghb -filters pa -bench stream
+//	pfexperiments -traces corpus.json            # trace corpus x filter zoo
+//	pfexperiments -traces corpus.json -filters pa,perceptron
 package main
 
 import (
@@ -24,14 +26,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/tracefile"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters, generators)")
+		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters, generators, traces)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -46,6 +50,8 @@ func main() {
 		benchJSN = flag.Bool("bench-json", false, "run the timed (benchmark x filter) bench matrix and write a BENCH JSON report")
 		filters  = flag.String("filters", "", "comma-separated filter backends to compare head to head, or \"all\" for every sweepable backend")
 		gens     = flag.String("generators", "", "comma-separated prefetch generators to cross with -filters (or \"all\"); runs the (generator x filter) comparison")
+		traces   = flag.String("traces", "", "trace-corpus manifest (docs/TRACES.md); registers each trace as benchmark trace:<name>, points the benchmark set at the corpus unless -bench overrides, and without another mode flag runs the corpus x filter comparison")
+		traceVer = flag.Bool("verify-traces", false, "fully scan every corpus trace before running (per-chunk CRCs, stream fingerprint vs manifest)")
 	)
 	var jobs int
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
@@ -60,6 +66,16 @@ func main() {
 	}
 
 	params := experiments.Params{Instructions: *n, Warmup: *warmup, Seed: *seed}
+	var corpus []string
+	if *traces != "" {
+		names, err := tracefile.RegisterCorpus(config.TraceConfig{Manifest: *traces, Verify: *traceVer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: trace corpus: %v\n", err)
+			os.Exit(1)
+		}
+		corpus = names
+		params.Benchmarks = names
+	}
 	if *bench != "" {
 		params.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -162,6 +178,44 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pfexperiments:", werr)
 			os.Exit(1)
 		}
+		if *met {
+			printTelemetry(&params)
+		}
+		return
+	}
+
+	render := func(table *experiments.Table) {
+		var werr error
+		switch {
+		case *csv:
+			werr = table.WriteCSV(os.Stdout)
+		case *md:
+			werr = table.WriteMarkdown(os.Stdout)
+		default:
+			werr = table.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pfexperiments:", werr)
+			os.Exit(1)
+		}
+	}
+
+	if *traces != "" && *exp == "" && !*all {
+		// Corpus mode: the manifest summary, then the (trace × filter)
+		// comparison — the same pipeline -filters runs on the models.
+		m, err := tracefile.LoadManifest(*traces)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		render(experiments.TraceCorpusTable(m))
+		fmt.Println()
+		rows, err := params.TraceComparison(ctx, corpus, nil, jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: traces: %v\n", err)
+			os.Exit(1)
+		}
+		render(report.FilterComparison("Trace corpus crossed with filters (default machine)", rows))
 		if *met {
 			printTelemetry(&params)
 		}

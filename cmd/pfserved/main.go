@@ -7,6 +7,7 @@
 //	pfserved                          # listen on :8077
 //	pfserved -addr :9000 -workers 8   # custom port, 8 sim workers
 //	pfserved -queue 128 -max-concurrent 4
+//	pfserved -trace-manifest corpus.json   # serve trace benchmarks too
 //
 // Endpoints: POST /v1/run, POST /v1/sweep, GET /metrics, GET /healthz.
 // SIGTERM/SIGINT drains gracefully: stop accepting, finish in-flight,
@@ -25,7 +26,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/server"
+	"repro/internal/tracefile"
 )
 
 func main() {
@@ -42,8 +45,19 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "largest per-request deadline a client may ask for")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		traceMan     = flag.String("trace-manifest", "", "trace-corpus manifest (docs/TRACES.md); registers each trace as benchmark trace:<name> and enables the sweep \"traces\" axis")
+		traceVerify  = flag.Bool("trace-verify", false, "fully scan every corpus trace at startup (per-chunk CRCs, stream fingerprint vs manifest)")
 	)
 	flag.Parse()
+
+	if *traceMan != "" {
+		names, err := tracefile.RegisterCorpus(config.TraceConfig{Manifest: *traceMan, Verify: *traceVerify})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfserved: trace corpus: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("pfserved: trace corpus %s: registered %d benchmark(s) %v", *traceMan, len(names), names)
+	}
 
 	srv := server.New(server.Config{
 		Workers:             *workers,

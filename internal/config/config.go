@@ -497,6 +497,35 @@ func (c BufferConfig) Validate() error {
 	return nil
 }
 
+// TraceConfig selects a real-trace corpus to expose as benchmarks. It
+// is harness configuration, not machine configuration: it deliberately
+// lives outside Config so that loading a corpus never perturbs the
+// machine's canonical JSON encoding (and therefore memo cache keys and
+// harness fingerprints). internal/tracefile.RegisterCorpus consumes it.
+type TraceConfig struct {
+	// Manifest is the path to the corpus manifest JSON (see
+	// docs/TRACES.md for the schema).
+	Manifest string `json:"manifest"`
+	// Verify fully scans every trace at registration: per-chunk CRCs,
+	// stream fingerprint, and record count against the manifest.
+	// Off, only the file header is checked.
+	Verify bool `json:"verify"`
+	// MaxChunkBytes caps the chunk payload size a reader will accept;
+	// 0 selects the decoder's default (64 MiB).
+	MaxChunkBytes int `json:"max_chunk_bytes"`
+}
+
+// Validate checks the trace-corpus parameters.
+func (c TraceConfig) Validate() error {
+	if c.Manifest == "" {
+		return fmt.Errorf("trace: manifest path must be set")
+	}
+	if c.MaxChunkBytes < 0 {
+		return fmt.Errorf("trace: max chunk bytes must be non-negative, got %d", c.MaxChunkBytes)
+	}
+	return nil
+}
+
 // Config is the complete machine description.
 type Config struct {
 	CPU            CPUConfig      `json:"cpu"`

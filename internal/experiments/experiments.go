@@ -192,6 +192,8 @@ func orderKey(id string) int {
 		return 109
 	case "generators":
 		return 110
+	case "traces":
+		return 111
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {

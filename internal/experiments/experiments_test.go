@@ -18,7 +18,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"baselines", "extras", "ablation", "taxonomy", "energy", "adaptivity", "variance", "multiprog", "aggression", "memlat", "filters", "generators"}
+		"baselines", "extras", "ablation", "taxonomy", "energy", "adaptivity", "variance", "multiprog", "aggression", "memlat", "filters", "generators", "traces"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -220,6 +220,11 @@ func TestEveryExperimentRunsSmall(t *testing.T) {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if len(tab.Rows) == 0 {
+				// The traces experiment is note-only until a corpus is
+				// registered; everything else must produce rows.
+				if e.ID == "traces" && len(tab.Notes) > 0 {
+					return
+				}
 				t.Fatalf("%s produced no rows", e.ID)
 			}
 			if tab.Title == "" {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/tracefile"
 	"repro/internal/workload"
 )
 
@@ -63,7 +64,13 @@ type SweepRequest struct {
 	// every registered generator. Empty keeps the config's default
 	// generator mix and the plain filters comparison.
 	Generators []string `json:"generators,omitempty"`
-	CacheKB    int      `json:"cache_kb,omitempty"`
+	// Traces extends the benchmark axis with registered trace-corpus
+	// benchmarks (internal/tracefile; loaded at startup via pfserved
+	// -trace-manifest). Names resolve with or without the "trace:"
+	// prefix; ["all"] expands to every registered trace. Unknown names
+	// are a request error listing the registered corpus.
+	Traces  []string `json:"traces,omitempty"`
+	CacheKB int      `json:"cache_kb,omitempty"`
 
 	Instructions int64  `json:"instructions,omitempty"`
 	Warmup       *int64 `json:"warmup,omitempty"`
@@ -130,16 +137,69 @@ type errorResponse struct {
 }
 
 // validateBenchmarks checks every name against the workload registry.
+// Unknown names in the trace namespace list the registered corpus, the
+// same contract the filter and generator axes follow for their zoos.
 func validateBenchmarks(names []string) error {
 	for _, b := range names {
 		if b == "" {
 			return fmt.Errorf("empty benchmark name")
 		}
 		if _, ok := workload.ByName(b); !ok {
+			if tracefile.IsTraceBench(b) {
+				return fmt.Errorf("unknown trace %q (registered traces: %v)", b, tracefile.Registered())
+			}
 			return fmt.Errorf("unknown benchmark %q", b)
 		}
 	}
 	return nil
+}
+
+// appendUnique appends each list's elements to dst, skipping
+// duplicates while preserving first-occurrence order.
+func appendUnique(dst []string, lists ...[]string) []string {
+	seen := make(map[string]bool, len(dst))
+	for _, b := range dst {
+		seen[b] = true
+	}
+	for _, list := range lists {
+		for _, b := range list {
+			if !seen[b] {
+				seen[b] = true
+				dst = append(dst, b)
+			}
+		}
+	}
+	return dst
+}
+
+// expandTraces resolves the traces dimension to registered trace
+// benchmark names: ["all"] becomes the whole registered corpus, names
+// resolve with or without the "trace:" prefix, and an unknown name is a
+// request error (HTTP 400) listing the registered corpus.
+func expandTraces(names []string) ([]string, error) {
+	if len(names) == 1 && names[0] == "all" {
+		reg := tracefile.Registered()
+		if len(reg) == 0 {
+			return nil, fmt.Errorf("no trace corpus registered (start the server with -trace-manifest)")
+		}
+		return reg, nil
+	}
+	out := make([]string, 0, len(names))
+	seen := map[string]bool{}
+	for _, name := range names {
+		full := name
+		if !tracefile.IsTraceBench(full) {
+			full = tracefile.BenchPrefix + name
+		}
+		if _, ok := workload.ByName(full); !ok {
+			return nil, fmt.Errorf("unknown trace %q (registered traces: %v)", name, tracefile.Registered())
+		}
+		if !seen[full] {
+			seen[full] = true
+			out = append(out, full)
+		}
+	}
+	return out, nil
 }
 
 // buildConfig assembles a machine config from request knobs and
@@ -197,13 +257,26 @@ func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixI
 	if err := validateBenchmarks(req.Benchmarks); err != nil {
 		return nil, err
 	}
+	traces, err := expandTraces(req.Traces)
+	if err != nil {
+		return nil, err
+	}
 	if req.Standard {
+		if len(traces) > 0 {
+			// The trace axis extends the standard matrix's benchmark set.
+			base := p.Benchmarks
+			if len(base) == 0 {
+				base = workload.PaperNames()
+			}
+			p.Benchmarks = appendUnique(nil, base, traces)
+		}
 		return p.StandardMatrix(), nil
 	}
 	benches := req.Benchmarks
-	if len(benches) == 0 {
+	if len(benches) == 0 && len(traces) == 0 {
 		benches = workload.PaperNames()
 	}
+	benches = appendUnique(nil, benches, traces)
 	filters := req.Filters
 	if len(filters) == 0 {
 		filters = []string{string(config.FilterNone), string(config.FilterPA), string(config.FilterPC)}

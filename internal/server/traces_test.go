@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/tracefile"
+)
+
+var (
+	srvCorpusOnce sync.Once
+	srvCorpusErr  error
+	srvBench      string
+)
+
+// registerServerCorpus converts the checked-in ChampSim fixture and
+// registers it once per process. Registration is the only moment the
+// trace file is read (the sweep tests stub runSim), so a t.TempDir-less
+// throwaway dir is unnecessary: the manifest check happens before the
+// first return.
+func registerServerCorpus(t *testing.T) string {
+	t.Helper()
+	srvCorpusOnce.Do(func() { srvCorpusErr = buildServerCorpus(t) })
+	if srvCorpusErr != nil {
+		t.Fatal(srvCorpusErr)
+	}
+	return srvBench
+}
+
+func buildServerCorpus(t *testing.T) error {
+	in, err := os.Open(filepath.Join("..", "tracefile", "testdata", "sample.champsim.gz"))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = in.Close() }() // read-only
+	src, err := tracefile.MaybeGzip(in)
+	if err != nil {
+		return err
+	}
+	dir := t.TempDir()
+	out, err := os.Create(filepath.Join(dir, "sample.pftc"))
+	if err != nil {
+		return err
+	}
+	st, err := tracefile.ConvertChampSim(src, out, tracefile.WriterOptions{})
+	if err != nil {
+		_ = out.Close() // the convert error takes precedence
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	manifest := filepath.Join(dir, "corpus.json")
+	m := tracefile.Manifest{Version: tracefile.ManifestVersion}
+	m.Upsert(tracefile.ManifestEntry{
+		Name:          "srv-sample",
+		File:          "sample.pftc",
+		SHA256:        st.Fingerprint,
+		Records:       st.Records,
+		FormatVersion: tracefile.Version,
+	})
+	if err := tracefile.SaveManifest(manifest, m); err != nil {
+		return err
+	}
+	names, err := tracefile.RegisterCorpus(config.TraceConfig{Manifest: manifest, Verify: true})
+	if err != nil {
+		return err
+	}
+	srvBench = names[0]
+	return nil
+}
+
+// TestSweepTracesAxis drives the traces sweep axis end to end: ["all"]
+// expansion, prefix-optional names, and the trace benchmark appearing as
+// ordinary result rows.
+func TestSweepTracesAxis(t *testing.T) {
+	bench := registerServerCorpus(t)
+	for _, body := range []string{
+		`{"traces":["all"],"filters":["pa"]}`,
+		`{"traces":["srv-sample"],"filters":["pa"]}`,
+		`{"traces":["` + bench + `"],"filters":["pa"]}`,
+	} {
+		calls := make(chan string, 64)
+		s, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+		s.runSim = func(_ context.Context, _ *experiments.Params, b string, _ config.Config) (stats.Run, error) {
+			calls <- b
+			return stats.Run{Instructions: 1, Cycles: 2}, nil
+		}
+		status, respBody := post(t, ts.URL, "/v1/sweep", body)
+		if status != 200 {
+			t.Fatalf("%s: status = %d (body %s)", body, status, respBody)
+		}
+		var resp SweepResponse
+		if err := json.Unmarshal(respBody, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Unique == 0 {
+			t.Fatalf("%s: no jobs ran", body)
+		}
+		ran := false
+		for len(calls) > 0 {
+			if <-calls == bench {
+				ran = true
+			}
+		}
+		if !ran {
+			t.Fatalf("%s: sweep never simulated %s", body, bench)
+		}
+		found := false
+		for _, r := range resp.Results {
+			if strings.HasPrefix(r.Name, bench+"/") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no result row for %s in %s", body, bench, respBody)
+		}
+	}
+}
+
+// TestSweepTracesExtendStandard checks that the traces axis adds to the
+// standard matrix's benchmark set instead of replacing it.
+func TestSweepTracesExtendStandard(t *testing.T) {
+	bench := registerServerCorpus(t)
+	calls := make(chan string, 1024)
+	s, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	s.runSim = func(_ context.Context, _ *experiments.Params, b string, _ config.Config) (stats.Run, error) {
+		calls <- b
+		return stats.Run{Instructions: 1, Cycles: 2}, nil
+	}
+	status, body := post(t, ts.URL, "/v1/sweep", `{"standard":true,"benchmarks":["fpppp"],"traces":["all"]}`)
+	if status != 200 {
+		t.Fatalf("status = %d (body %s)", status, body)
+	}
+	sawModel, sawTrace := false, false
+	for len(calls) > 0 {
+		switch <-calls {
+		case "fpppp":
+			sawModel = true
+		case bench:
+			sawTrace = true
+		}
+	}
+	if !sawModel || !sawTrace {
+		t.Fatalf("standard+traces sweep ran model=%v trace=%v, want both", sawModel, sawTrace)
+	}
+}
+
+// TestSweepUnknownTrace400 pins the 400 body: unknown traces name the
+// registered corpus, on both the traces axis and the benchmarks list.
+func TestSweepUnknownTrace400(t *testing.T) {
+	bench := registerServerCorpus(t)
+	_, ts := newTestServer(t, Config{MaxSweepJobs: 64})
+	for _, body := range []string{
+		`{"traces":["nope"]}`,
+		`{"benchmarks":["trace:nope"]}`,
+	} {
+		status, respBody := post(t, ts.URL, "/v1/sweep", body)
+		if status != 400 {
+			t.Fatalf("%s: status = %d (body %s)", body, status, respBody)
+		}
+		if !strings.Contains(string(respBody), "nope") || !strings.Contains(string(respBody), bench) {
+			t.Fatalf("%s: body %q should name the unknown trace and the registered corpus", body, respBody)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -142,6 +143,18 @@ func Run(opts Options) (stats.Run, error) {
 
 	res := c.Run(src, maxInstr, warmup)
 	h.Finish()
+
+	// Sources the simulator built itself (trace-backed workloads hold an
+	// open file) are closed here; Close also surfaces any decode error
+	// that silently ended the stream mid-run. Caller-supplied sources
+	// stay caller-owned.
+	if opts.Source == nil {
+		if cl, ok := src.(io.Closer); ok {
+			if cerr := cl.Close(); cerr != nil {
+				return stats.Run{}, fmt.Errorf("sim: %s source: %w", label, cerr)
+			}
+		}
+	}
 
 	fs := filter.Stats()
 	filterName := filter.Name()

@@ -1,0 +1,196 @@
+// ChampSim-trace conversion: the front door for real program traces.
+// ChampSim's input format (the one its tracer and the public SPEC trace
+// collections use) is a flat stream of fixed 64-byte little-endian
+// instruction records; this file streams them into PFTC.
+
+package tracefile
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// champSimRecLen is the size of one ChampSim input_instr record:
+// ip u64, is_branch u8, branch_taken u8, destination_registers [2]u8,
+// source_registers [4]u8, destination_memory [2]u64, source_memory [4]u64.
+const champSimRecLen = 64
+
+const (
+	champSimDestMem = 2
+	champSimSrcMem  = 4
+)
+
+// champSimInstr is one decoded ChampSim instruction.
+type champSimInstr struct {
+	ip       uint64
+	isBranch bool
+	taken    bool
+	destMem  [champSimDestMem]uint64
+	srcMem   [champSimSrcMem]uint64
+}
+
+func decodeChampSim(buf []byte) champSimInstr {
+	var in champSimInstr
+	in.ip = binary.LittleEndian.Uint64(buf[0:8])
+	in.isBranch = buf[8] != 0
+	in.taken = buf[9] != 0
+	// bytes 10:16 are the register id arrays — no memory semantics.
+	for i := 0; i < champSimDestMem; i++ {
+		in.destMem[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
+	}
+	for i := 0; i < champSimSrcMem; i++ {
+		in.srcMem[i] = binary.LittleEndian.Uint64(buf[32+8*i:])
+	}
+	return in
+}
+
+// ConvertStats summarizes one ChampSim → PFTC conversion.
+type ConvertStats struct {
+	// Instructions is the ChampSim instruction count consumed.
+	Instructions uint64 `json:"instructions"`
+	// Records is the PFTC record count produced (one x86 instruction can
+	// expand to several RISC-like records: its loads, its stores, and its
+	// branch or ALU op each become one record).
+	Records uint64 `json:"records"`
+	// Loads, Stores, Branches, Taken break the output down by kind.
+	Loads    uint64 `json:"loads"`
+	Stores   uint64 `json:"stores"`
+	Branches uint64 `json:"branches"`
+	Taken    uint64 `json:"taken"`
+	// Chunks are the written chunks' descriptors.
+	Chunks []ChunkInfo `json:"chunks"`
+	// Fingerprint is the trailer's stream fingerprint, hex-encoded.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ConvertChampSim streams a raw ChampSim instruction trace from r into a
+// PFTC stream on w. The mapping (normative details in docs/TRACES.md):
+//
+//   - PCs are aligned down to isa.InstrBytes (x86 instruction pointers
+//     are byte-granular; the simulated ISA requires 4-byte alignment).
+//   - Each nonzero source_memory slot becomes a load record, each
+//     nonzero destination_memory slot a store record, all at the
+//     instruction's PC.
+//   - A branch instruction adds a branch record whose taken-target is
+//     the next instruction's PC (one-instruction lookahead); a final
+//     taken branch with no successor falls back to PC+isa.InstrBytes.
+//   - An instruction with no memory slots and no branch becomes one ALU
+//     record, so the instruction mix (and IPC denominator) stays
+//     faithful.
+//
+// Call ConvertChampSim with a plain reader; use MaybeGzip first if the
+// input may be gzip-compressed.
+func ConvertChampSim(r io.Reader, w io.Writer, opts WriterOptions) (ConvertStats, error) {
+	tw, err := NewWriter(w, opts)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	var st ConvertStats
+	br := bufio.NewReaderSize(r, 1<<16)
+	var buf [champSimRecLen]byte
+
+	var pending champSimInstr
+	havePending := false
+	emit := func(in champSimInstr, nextIP uint64) error {
+		pc := in.ip &^ (isa.InstrBytes - 1)
+		emitted := false
+		for _, a := range in.srcMem {
+			if a == 0 {
+				continue
+			}
+			if err := tw.Write(isa.Load(pc, a)); err != nil {
+				return err
+			}
+			st.Loads++
+			emitted = true
+		}
+		for _, a := range in.destMem {
+			if a == 0 {
+				continue
+			}
+			if err := tw.Write(isa.Store(pc, a)); err != nil {
+				return err
+			}
+			st.Stores++
+			emitted = true
+		}
+		switch {
+		case in.isBranch:
+			target := nextIP &^ (isa.InstrBytes - 1)
+			if err := tw.Write(isa.Branch(pc, target, in.taken)); err != nil {
+				return err
+			}
+			st.Branches++
+			if in.taken {
+				st.Taken++
+			}
+		case !emitted:
+			if err := tw.Write(isa.ALU(pc)); err != nil {
+				return err
+			}
+		}
+		st.Instructions++
+		return nil
+	}
+
+	for {
+		_, rerr := io.ReadFull(br, buf[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			return ConvertStats{}, fmt.Errorf("tracefile: champsim input truncated mid-record after %d instructions", st.Instructions)
+		}
+		if rerr != nil {
+			return ConvertStats{}, fmt.Errorf("tracefile: reading champsim input: %w", rerr)
+		}
+		in := decodeChampSim(buf[:])
+		if havePending {
+			if err := emit(pending, in.ip); err != nil {
+				return ConvertStats{}, err
+			}
+		}
+		pending, havePending = in, true
+	}
+	if havePending {
+		// No successor: a taken branch's target falls back to PC+4.
+		if err := emit(pending, pending.ip+isa.InstrBytes); err != nil {
+			return ConvertStats{}, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return ConvertStats{}, err
+	}
+	st.Records = tw.Count()
+	st.Chunks = tw.Chunks()
+	fp := tw.Fingerprint()
+	st.Fingerprint = fmt.Sprintf("%x", fp[:])
+	return st, nil
+}
+
+// MaybeGzip wraps r in a gzip reader when the stream starts with the
+// gzip magic, passing plain streams through untouched. ChampSim trace
+// collections ship as .gz (or .xz, which this repo cannot decode —
+// re-compress those as gzip first).
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Too short to carry a gzip header; let the downstream decoder
+		// report the real framing error.
+		return br, nil
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: gzip input: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}

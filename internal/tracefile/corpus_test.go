@@ -1,0 +1,209 @@
+package tracefile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// writeCorpus writes a PFTC trace plus a one-entry manifest into dir and
+// returns the manifest path and the trace's manifest entry.
+func writeCorpus(t *testing.T, dir, name string, recs []isa.Record) (string, ManifestEntry) {
+	t.Helper()
+	tracePath := filepath.Join(dir, name+".pftc")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, WriterOptions{ChunkBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fp := w.Fingerprint()
+	entry := ManifestEntry{
+		Name:          name,
+		File:          name + ".pftc",
+		SHA256:        fmt.Sprintf("%x", fp[:]),
+		Records:       w.Count(),
+		FormatVersion: Version,
+	}
+	manifestPath := filepath.Join(dir, "corpus.json")
+	if err := SaveManifest(manifestPath, Manifest{Version: ManifestVersion, Traces: []ManifestEntry{entry}}); err != nil {
+		t.Fatal(err)
+	}
+	return manifestPath, entry
+}
+
+func TestRegisterCorpusAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecords(300)
+	manifest, _ := writeCorpus(t, dir, "corpus-replay", recs)
+
+	names, err := RegisterCorpus(config.TraceConfig{Manifest: manifest, Verify: true})
+	if err != nil {
+		t.Fatalf("RegisterCorpus: %v", err)
+	}
+	if len(names) != 1 || names[0] != "trace:corpus-replay" {
+		t.Fatalf("names = %v", names)
+	}
+	spec, ok := workload.ByName("trace:corpus-replay")
+	if !ok {
+		t.Fatal("trace benchmark not in the workload registry")
+	}
+	if spec.Suite != "trace" {
+		t.Fatalf("suite = %q, want \"trace\"", spec.Suite)
+	}
+
+	// The source loops: draw 2.5 passes' worth of records and check the
+	// stream repeats the trace exactly.
+	src := spec.New(1)
+	n := len(recs)*2 + len(recs)/2
+	for i := 0; i < n; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			t.Fatalf("source exhausted at %d (trace loops)", i)
+		}
+		if want := recs[i%len(recs)]; rec != want {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+	cl, ok := src.(interface{ Close() error })
+	if !ok {
+		t.Fatal("trace source is not an io.Closer")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Re-registering the same manifest is a no-op.
+	if _, err := RegisterCorpus(config.TraceConfig{Manifest: manifest}); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	found := false
+	for _, n := range Registered() {
+		if n == "trace:corpus-replay" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Registered() = %v, missing trace:corpus-replay", Registered())
+	}
+}
+
+func TestRegisterCorpusVerifyCatchesTamper(t *testing.T) {
+	dir := t.TempDir()
+	manifest, entry := writeCorpus(t, dir, "corpus-tamper", genRecords(300))
+	path := filepath.Join(dir, entry.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[fileHeaderLen+chunkHeaderLen] ^= 0x01 // flip a payload byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegisterCorpus(config.TraceConfig{Manifest: manifest, Verify: true}); err == nil {
+		t.Fatal("Verify accepted a tampered trace")
+	}
+}
+
+func TestRegisterCorpusConflict(t *testing.T) {
+	dir := t.TempDir()
+	manifest, _ := writeCorpus(t, dir, "corpus-conflict", genRecords(100))
+	if _, err := RegisterCorpus(config.TraceConfig{Manifest: manifest}); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different content → different sha256 → rejected.
+	dir2 := t.TempDir()
+	manifest2, _ := writeCorpus(t, dir2, "corpus-conflict", genRecords(101))
+	_, err := RegisterCorpus(config.TraceConfig{Manifest: manifest2})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("err = %v, want already-registered conflict", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	good := ManifestEntry{Name: "x", File: "x.pftc", SHA256: strings.Repeat("a", 64), Records: 1, FormatVersion: Version}
+	cases := []struct {
+		name string
+		m    Manifest
+	}{
+		{"bad version", Manifest{Version: 2, Traces: []ManifestEntry{good}}},
+		{"empty name", Manifest{Version: 1, Traces: []ManifestEntry{{File: "x", SHA256: good.SHA256, Records: 1, FormatVersion: 1}}}},
+		{"empty file", Manifest{Version: 1, Traces: []ManifestEntry{{Name: "x", SHA256: good.SHA256, Records: 1, FormatVersion: 1}}}},
+		{"short sha", Manifest{Version: 1, Traces: []ManifestEntry{{Name: "x", File: "x", SHA256: "ab", Records: 1, FormatVersion: 1}}}},
+		{"zero records", Manifest{Version: 1, Traces: []ManifestEntry{{Name: "x", File: "x", SHA256: good.SHA256, FormatVersion: 1}}}},
+		{"bad format version", Manifest{Version: 1, Traces: []ManifestEntry{{Name: "x", File: "x", SHA256: good.SHA256, Records: 1, FormatVersion: 9}}}},
+		{"dup name", Manifest{Version: 1, Traces: []ManifestEntry{good, good}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+	if err := (Manifest{Version: 1, Traces: []ManifestEntry{good}}).Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestManifestUpsertAndRoundTrip(t *testing.T) {
+	var m Manifest
+	m.Version = ManifestVersion
+	e := ManifestEntry{Name: "b", File: "b.pftc", SHA256: strings.Repeat("b", 64), Records: 2, FormatVersion: Version}
+	m.Upsert(ManifestEntry{Name: "a", File: "a.pftc", SHA256: strings.Repeat("a", 64), Records: 1, FormatVersion: Version})
+	m.Upsert(e)
+	e.Records = 7
+	m.Upsert(e) // replace, not append
+	if len(m.Traces) != 2 || m.Traces[1].Records != 7 {
+		t.Fatalf("Upsert: %+v", m.Traces)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := SaveManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 2 || got.Traces[0].Name != "a" || got.Traces[1].Records != 7 {
+		t.Fatalf("round-trip: %+v", got.Traces)
+	}
+}
+
+func TestIsTraceBench(t *testing.T) {
+	if !IsTraceBench("trace:x") || IsTraceBench("mcf") || IsTraceBench("trace:") {
+		t.Fatal("IsTraceBench misclassifies")
+	}
+}
+
+func TestTraceConfigValidate(t *testing.T) {
+	if err := (config.TraceConfig{}).Validate(); err == nil {
+		t.Fatal("empty manifest path accepted")
+	}
+	if err := (config.TraceConfig{Manifest: "x", MaxChunkBytes: -1}).Validate(); err == nil {
+		t.Fatal("negative max chunk bytes accepted")
+	}
+	if err := (config.TraceConfig{Manifest: "x"}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+//go:build ignore
+
+// Generates sample.champsim.gz, the checked-in ChampSim fixture the
+// trace-smoke tests and CI convert and replay. Fully deterministic
+// (fixed LCG, zero gzip ModTime), so regenerating it reproduces the
+// checked-in bytes exactly:
+//
+//	cd internal/tracefile/testdata && go run gen_sample.go
+//
+// The workload is a synthetic loop nest: a strided walk over one array,
+// an LCG-scattered walk over a second, a stack store, and a backward
+// loop branch that falls through every 50th iteration — enough op and
+// address variety to exercise every converter path (loads, stores,
+// taken and not-taken branches, the final-branch lookahead fallback).
+package main
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"log"
+	"os"
+)
+
+const (
+	instructions = 3000
+	recLen       = 64
+
+	codeBase  = 0x0000000000401000
+	arrayA    = 0x0000000010000000
+	arrayB    = 0x0000000020000000
+	stackBase = 0x00007ffe00000000
+)
+
+type rec struct {
+	ip       uint64
+	isBranch bool
+	taken    bool
+	destMem  [2]uint64
+	srcMem   [4]uint64
+}
+
+func (r rec) encode(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(buf[0:8], r.ip)
+	if r.isBranch {
+		buf[8] = 1
+	}
+	if r.taken {
+		buf[9] = 1
+	}
+	for i, a := range r.destMem {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], a)
+	}
+	for i, a := range r.srcMem {
+		binary.LittleEndian.PutUint64(buf[32+8*i:], a)
+	}
+}
+
+func main() {
+	f, err := os.Create("sample.champsim.gz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	zw, err := gzip.NewWriterLevel(f, gzip.BestCompression)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lcg := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+
+	buf := make([]byte, recLen)
+	emit := func(r rec) {
+		r.encode(buf)
+		if _, err := zw.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Six instructions per iteration; the last is the loop branch.
+	n := 0
+	for i := 0; n < instructions; i++ {
+		pc := uint64(codeBase)
+		emit(rec{ip: pc, srcMem: [4]uint64{arrayA + uint64(i)*64}})
+		emit(rec{ip: pc + 4}) // ALU
+		emit(rec{ip: pc + 8, srcMem: [4]uint64{arrayB + (next()%4096)*8}})
+		emit(rec{ip: pc + 12, destMem: [2]uint64{stackBase + uint64(i%16)*8}})
+		emit(rec{ip: pc + 16}) // ALU
+		taken := i%50 != 49
+		emit(rec{ip: pc + 20, isBranch: true, taken: taken})
+		n += 6
+	}
+
+	if err := zw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -50,6 +50,24 @@ func register(s Spec) {
 	registry[s.Name] = s
 }
 
+// RegisterExternal adds a benchmark beyond the built-in models — the
+// hook trace-backed workloads (internal/tracefile) register through.
+// Unlike the init-time register it reports duplicates as errors instead
+// of panicking, since external corpora load at runtime from user input.
+func RegisterExternal(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: benchmark name must be set")
+	}
+	if s.New == nil {
+		return fmt.Errorf("workload: benchmark %q has no source constructor", s.Name)
+	}
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("workload: benchmark %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
 // All returns every benchmark in the paper's presentation order.
 func All() []Spec {
 	order := []string{"bh", "em3d", "perimeter", "ijpeg", "fpppp", "gcc", "wave5", "gap", "gzip", "mcf"}
