@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke trace-smoke
+.PHONY: build test race lint fuzz-smoke bench-smoke trace-smoke fabric-smoke
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # The race detector where goroutines actually meet (the concurrency
 # harnesses); the simulation packages are single-goroutine by design.
 race:
-	$(GO) test -race ./internal/sched/ ./internal/server/ ./internal/metrics/ ./internal/experiments/
+	$(GO) test -race ./internal/sched/ ./internal/server/ ./internal/metrics/ ./internal/experiments/ ./internal/fabric/
 
 # Static analysis: go vet plus pflint, the project linter
 # (docs/LINTING.md). A finding anywhere fails the target.
@@ -37,6 +37,12 @@ trace-smoke:
 	$(GO) run ./cmd/pfexperiments -traces corpus.json -n 20000 -warmup 5000
 	$(GO) test -run 'TestSampleFixture|TestTraceComparisonDeterministicAcrossWorkers' \
 		./internal/tracefile/ ./internal/experiments/
+
+# Distributed-sweep smoke (docs/FABRIC.md): coordinator plus two
+# workers over a shared CAS, one worker killed mid-sweep, determinism
+# and CAS-hit assertions. Fully self-contained; see the script.
+fabric-smoke:
+	./scripts/fabric_smoke.sh
 
 # Reduced bench matrix; see docs/PERFORMANCE.md for the full policy.
 bench-smoke:

@@ -1,6 +1,7 @@
 // Command pfserved serves simulations over HTTP: the experiment harness
 // as a daemon, batched on the work-stealing scheduler and cached behind
-// the process-wide single-flight memo. See docs/SERVING.md for the API.
+// the process-wide single-flight memo. See docs/SERVING.md for the API
+// and docs/FABRIC.md for multi-node operation.
 //
 // Usage:
 //
@@ -9,7 +10,15 @@
 //	pfserved -queue 128 -max-concurrent 4
 //	pfserved -trace-manifest corpus.json   # serve trace benchmarks too
 //
-// Endpoints: POST /v1/run, POST /v1/sweep, GET /metrics, GET /healthz.
+//	# Distributed sweep fabric (docs/FABRIC.md): one coordinator deals
+//	# cells to worker daemons and persists results in a shared CAS.
+//	pfserved -role worker -addr :8078 -cas-dir /var/pfcas
+//	pfserved -role worker -addr :8079 -cas-dir /var/pfcas
+//	pfserved -role coordinator -cas-dir /var/pfcas \
+//	    -workers http://localhost:8078,http://localhost:8079
+//
+// Endpoints: POST /v1/run, POST /v1/sweep (NDJSON when the request sets
+// "stream"), POST+GET /v1/cell, GET /metrics, GET /healthz.
 // SIGTERM/SIGINT drains gracefully: stop accepting, finish in-flight,
 // then exit (bounded by -drain-timeout).
 package main
@@ -23,10 +32,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/tracefile"
 )
@@ -34,7 +47,11 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8077", "listen address")
-		workers      = flag.Int("workers", 0, "scheduler workers per executing batch (0 = GOMAXPROCS)")
+		role         = flag.String("role", "standalone", `"standalone" (serve and simulate locally), "worker" (same, meant to sit behind a coordinator), or "coordinator" (deal sweep cells to the -workers fleet instead of simulating)`)
+		workers      = flag.String("workers", "", "standalone/worker roles: scheduler pool size per executing batch (integer; empty or 0 = GOMAXPROCS). coordinator role: comma-separated worker base URLs, e.g. http://host:8078,http://host:8079")
+		casDir       = flag.String("cas-dir", "", "content-addressed result store directory; enables persistent result caching and GET /v1/cell lookups (share one directory across co-located daemons)")
+		lease        = flag.Duration("lease", 2*time.Minute, "coordinator role: per-dispatch lease; a worker that has not answered within it forfeits the cell and it is re-dealt")
+		perWorker    = flag.Int("per-worker", 2, "coordinator role: concurrent in-flight cells per worker (match the workers' -max-concurrent)")
 		queue        = flag.Int("queue", 64, "admission queue depth; beyond it requests get 429")
 		maxConc      = flag.Int("max-concurrent", 2, "concurrently executing request batches")
 		maxSweep     = flag.Int("max-sweep", 4096, "largest accepted sweep matrix (deduplicated jobs)")
@@ -53,14 +70,15 @@ func main() {
 	if *traceMan != "" {
 		names, err := tracefile.RegisterCorpus(config.TraceConfig{Manifest: *traceMan, Verify: *traceVerify})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pfserved: trace corpus: %v\n", err)
-			os.Exit(1)
+			fatalf("trace corpus: %v", err)
 		}
 		log.Printf("pfserved: trace corpus %s: registered %d benchmark(s) %v", *traceMan, len(names), names)
 	}
 
-	srv := server.New(server.Config{
-		Workers:             *workers,
+	// One registry for everything — server, harness, CAS, and coordinator
+	// telemetry all land in /metrics.
+	m := metrics.New()
+	cfg := server.Config{
 		QueueDepth:          *queue,
 		MaxConcurrent:       *maxConc,
 		MaxSweepJobs:        *maxSweep,
@@ -70,7 +88,56 @@ func main() {
 		DefaultDeadline:     *deadline,
 		MaxDeadline:         *maxDeadline,
 		RetryAfter:          *retryAfter,
-	})
+		Metrics:             m,
+	}
+
+	if *casDir != "" {
+		cas, err := fabric.OpenCAS(*casDir, m)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.CAS = cas
+		log.Printf("pfserved: content-addressed store at %s", cas.Dir())
+	}
+
+	switch *role {
+	case "standalone", "worker":
+		// -workers is the local scheduler pool size in these roles.
+		if *workers != "" {
+			n, err := strconv.Atoi(*workers)
+			if err != nil {
+				fatalf("-role %s: -workers must be an integer pool size, got %q", *role, *workers)
+			}
+			cfg.Workers = n
+		}
+	case "coordinator":
+		// -workers is the fleet: comma-separated worker base URLs.
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fatalf("-role coordinator requires -workers with at least one worker URL (http://host:port,...)")
+		}
+		coord, err := fabric.New(fabric.Options{
+			Workers:   urls,
+			CAS:       cfg.CAS,
+			Lease:     *lease,
+			PerWorker: *perWorker,
+			Metrics:   m,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Coordinator = coord
+		log.Printf("pfserved: coordinating %d worker(s): %v", len(urls), urls)
+	default:
+		fatalf("unknown -role %q (standalone, worker, or coordinator)", *role)
+	}
+
+	srv := server.New(cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -97,11 +164,15 @@ func main() {
 		}
 	}()
 
-	log.Printf("pfserved: listening on %s (queue %d, %d concurrent batches)", *addr, *queue, *maxConc)
+	log.Printf("pfserved: %s listening on %s (queue %d, %d concurrent batches)", *role, *addr, *queue, *maxConc)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "pfserved: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	<-shutdownDone
 	log.Printf("pfserved: drained, exiting")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pfserved: "+format+"\n", args...)
+	os.Exit(1)
 }

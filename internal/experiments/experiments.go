@@ -40,8 +40,24 @@ type Params struct {
 	// Prewarm totals ("experiments.prewarm.*"). All updates are nil-safe,
 	// so an unset registry costs nothing.
 	Metrics *metrics.Registry
+	// Store, when non-nil, is the persistent result level behind the
+	// in-process single-flight memo: probed on memo miss before
+	// simulating, filled after every simulation. pfserved wires the
+	// on-disk fabric CAS here, making the memo the L1 of a persistent
+	// hierarchy — "experiments.cache.misses" stays the true simulation
+	// count (a store hit is NOT a miss), which is what lets operators
+	// verify "zero simulations" sweeps from /metrics.
+	Store RunStore
 
 	cache map[string]stats.Run
+}
+
+// RunStore is a persistent key→result store (satisfied structurally by
+// internal/fabric's CAS). Implementations swallow their own I/O errors:
+// a broken store degrades to simulating, never to failing runs.
+type RunStore interface {
+	GetRun(key string) (stats.Run, bool)
+	PutRun(key string, r stats.Run)
 }
 
 // DefaultParams returns the harness defaults: 2M measured instructions
@@ -108,6 +124,12 @@ func (p *Params) runCtx(ctx context.Context, bench string, cfg config.Config) (s
 	computed := false
 	r, err := runMemo.Do(ctx, key, func(context.Context) (stats.Run, error) {
 		computed = true
+		if p.Store != nil {
+			if r, ok := p.Store.GetRun(key); ok {
+				p.Metrics.Counter("experiments.cache.store_hits").Inc()
+				return r, nil
+			}
+		}
 		p.Metrics.Counter("experiments.cache.misses").Inc()
 		start := time.Now()
 		r, err := sim.Run(sim.Options{
@@ -120,6 +142,10 @@ func (p *Params) runCtx(ctx context.Context, bench string, cfg config.Config) (s
 			return stats.Run{}, fmt.Errorf("experiments: %s: %w", bench, err)
 		}
 		p.Metrics.Histogram("experiments.sim.wall_ns." + bench).Observe(uint64(time.Since(start)))
+		if p.Store != nil {
+			p.Store.PutRun(key, r)
+			p.Metrics.Counter("experiments.cache.store_fills").Inc()
+		}
 		return r, nil
 	})
 	if err != nil {

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func testRun(n uint64) stats.Run {
+	return stats.Run{
+		Benchmark:    "bench",
+		Instructions: n,
+		Cycles:       3 * n,
+		Prefetches:   stats.Prefetches{Issued: n, Good: n / 2, Bad: n / 4},
+	}
+}
+
+func openTestCAS(t *testing.T) (*CAS, *metrics.Registry) {
+	t.Helper()
+	m := metrics.New()
+	c, err := OpenCAS(t.TempDir(), m)
+	if err != nil {
+		t.Fatalf("OpenCAS: %v", err)
+	}
+	return c, m
+}
+
+func TestCASRoundTrip(t *testing.T) {
+	c, m := openTestCAS(t)
+	key := "mcf|n=100|w=10|seed=1|{}"
+
+	if _, ok, err := c.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v, want miss with no error", ok, err)
+	}
+	want := testRun(100)
+	if err := c.Put(key, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Get = %+v, want %+v", got, want)
+	}
+
+	// The sha-only lookup recovers the full key from the envelope.
+	gotKey, got, ok, err := c.GetSHA(KeySHA(key))
+	if err != nil || !ok {
+		t.Fatalf("GetSHA: ok=%v err=%v", ok, err)
+	}
+	if gotKey != key || !reflect.DeepEqual(got, want) {
+		t.Fatalf("GetSHA = (%q, %+v), want (%q, %+v)", gotKey, got, key, want)
+	}
+
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 entry", n, err)
+	}
+	snap := m.Snapshot()
+	if snap.Counters["fabric.cas.fills"] != 1 || snap.Counters["fabric.cas.hits"] != 2 || snap.Counters["fabric.cas.misses"] != 1 {
+		t.Fatalf("counters = %v, want 1 fill, 2 hits, 1 miss", snap.Counters)
+	}
+}
+
+func TestCASPutIsIdempotent(t *testing.T) {
+	c, _ := openTestCAS(t)
+	key := "k"
+	for i := 0; i < 3; i++ {
+		if err := c.Put(key, testRun(7)); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+	}
+	if n, _ := c.Len(); n != 1 {
+		t.Fatalf("Len = %d after repeated Put of one key, want 1", n)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Join(c.Dir(), KeySHA(key)[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s survived a successful Put", e.Name())
+		}
+	}
+}
+
+func TestCASGetSHARejectsBadAddress(t *testing.T) {
+	c, _ := openTestCAS(t)
+	if _, _, _, err := c.GetSHA("short"); err == nil {
+		t.Fatal("GetSHA accepted a 5-char address")
+	}
+}
+
+func TestCASCorruptEntryReadsAsMiss(t *testing.T) {
+	c, m := openTestCAS(t)
+	key := "corrupt-me"
+	if err := c.Put(key, testRun(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(KeySHA(key))
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err == nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v, want miss WITH error", ok, err)
+	}
+
+	// An entry whose stored key does not hash to its address is a lie:
+	// also an error, never a wrong answer.
+	bad, err := json.Marshal(envelope{Key: "some-other-key", Run: testRun(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err == nil {
+		t.Fatalf("mismatched entry: ok=%v err=%v, want miss WITH error", ok, err)
+	}
+	if m.Snapshot().Counters["fabric.cas.errors"] != 2 {
+		t.Fatalf("errors counter = %d, want 2", m.Snapshot().Counters["fabric.cas.errors"])
+	}
+}
+
+func TestCASRunStoreAdapterSwallowsErrors(t *testing.T) {
+	c, _ := openTestCAS(t)
+	key := "adapter"
+	if _, ok := c.GetRun(key); ok {
+		t.Fatal("GetRun hit on empty store")
+	}
+	c.PutRun(key, testRun(5))
+	if r, ok := c.GetRun(key); !ok || !reflect.DeepEqual(r, testRun(5)) {
+		t.Fatalf("GetRun = %+v, %v", r, ok)
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := map[string]stats.Run{"k1": testRun(1), "k2": testRun(2)}
+	b := map[string]stats.Run{"k2": testRun(2), "k1": testRun(1)}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint depends on map iteration order")
+	}
+	b["k2"] = testRun(3)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("fingerprint blind to a changed run")
+	}
+	delete(b, "k2")
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("fingerprint blind to a missing cell")
+	}
+}

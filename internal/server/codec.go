@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/filter"
 	"repro/internal/prefetch"
 	"repro/internal/report"
@@ -72,6 +73,12 @@ type SweepRequest struct {
 	Traces  []string `json:"traces,omitempty"`
 	CacheKB int      `json:"cache_kb,omitempty"`
 
+	// Stream switches the response to NDJSON: one result object per
+	// line AS EACH CELL LANDS (completion order — CAS hits first), then
+	// a final summary line. Without it the whole sweep is buffered into
+	// one SweepResponse, as before.
+	Stream bool `json:"stream,omitempty"`
+
 	Instructions int64  `json:"instructions,omitempty"`
 	Warmup       *int64 `json:"warmup,omitempty"`
 	Seed         uint64 `json:"seed,omitempty"`
@@ -94,6 +101,12 @@ type RunResult struct {
 	// WallNS is this job's execution wall time on the pool; a cached or
 	// shared result reports (near) zero.
 	WallNS int64 `json:"wall_ns"`
+	// KeySHA is the cell's content address (sha256 of its cache key) —
+	// the CAS filename stem and the handle for GET /v1/cell?sha=….
+	KeySHA string `json:"key_sha,omitempty"`
+	// Source reports where a fabric-served cell came from: "cas", or
+	// the worker URL that computed it. Empty on single-node execution.
+	Source string `json:"source,omitempty"`
 
 	Run   *stats.Run `json:"run,omitempty"`
 	Error string     `json:"error,omitempty"`
@@ -120,7 +133,15 @@ type SweepResponse struct {
 	Errors int `json:"errors"`
 	// WallNS is the whole sweep's wall time under the scheduler.
 	WallNS  int64       `json:"wall_ns"`
-	Results []RunResult `json:"results"`
+	Results []RunResult `json:"results,omitempty"`
+	// Fingerprint digests the successful cells (sha256 over sorted
+	// key+run pairs; see fabric.Fingerprint). A sweep sharded across
+	// workers and the same sweep on one node MUST report equal
+	// fingerprints — the fabric's determinism contract.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// CASHits counts cells served from the content-addressed store
+	// without simulating (fabric execution only).
+	CASHits int `json:"cas_hits,omitempty"`
 	// Comparison is the head-to-head view of the successful cells:
 	// per-(benchmark, filter) classification counts, accuracy, coverage,
 	// and IPC delta against the benchmark's unfiltered ("none") cell when
@@ -130,6 +151,20 @@ type SweepResponse struct {
 	// row per (benchmark, generator, filter) cell, IPC deltas against
 	// the same (benchmark, generator) pair's unfiltered cell.
 	GeneratorComparison []report.GeneratorComparisonRow `json:"generator_comparison,omitempty"`
+}
+
+// StreamLine is one line of an NDJSON streaming sweep response
+// (SweepRequest.Stream): Type "result" lines carry one cell each in
+// completion order, and the single terminal Type "summary" line carries
+// the sweep totals (fingerprint, error and CAS-hit counts, comparison —
+// everything a buffered SweepResponse has except the Results array,
+// which the stream already delivered). Error is set on the summary line
+// when the sweep was cut short (deadline, cancellation).
+type StreamLine struct {
+	Type    string         `json:"type"`
+	Result  *RunResult     `json:"result,omitempty"`
+	Summary *SweepResponse `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
 }
 
 type errorResponse struct {
@@ -418,6 +453,19 @@ func buildGeneratorComparison(results []RunResult) []report.GeneratorComparisonR
 	}
 	report.SortGeneratorComparison(rows)
 	return rows
+}
+
+// resultForCell assembles one RunResult from a cell and its outcome,
+// stamping the content address and fabric provenance.
+func resultForCell(c sweepCell, o cellOutcome) RunResult {
+	err := o.err
+	if err == nil && o.run == nil {
+		err = fmt.Errorf("cell produced no result")
+	}
+	res := resultFor(c.item, o.run, o.wallNS, err)
+	res.KeySHA = fabric.KeySHA(c.key)
+	res.Source = o.source
+	return res
 }
 
 // resultFor assembles one RunResult from a matrix item and its run.

@@ -14,7 +14,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/sched"
+	"repro/internal/fabric"
 	"repro/internal/stats"
 )
 
@@ -26,6 +26,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/cell", s.handleCellPost)
+	s.mux.HandleFunc("GET /v1/cell", s.handleCellGet)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -81,11 +83,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// admitAndExecute is the shared serving path: take an admission slot (or
-// 429), apply the deadline, run the matrix on the pool, and translate
+// admitAndExecute is the shared buffered serving path: take an admission
+// slot (or 429), apply the deadline, run the cells, and translate
 // context expiry into 504. On failure it has already written the
 // response and returns ok=false.
-func (s *Server) admitAndExecute(w http.ResponseWriter, r *http.Request, deadlineMS int64, p *experiments.Params, items []experiments.MatrixItem) (results map[string]sched.Result, wallNS int64, ok bool) {
+func (s *Server) admitAndExecute(w http.ResponseWriter, r *http.Request, deadlineMS int64, p *experiments.Params, cells []sweepCell) (outcomes map[string]cellOutcome, wallNS int64, ok bool) {
 	if !s.admit() {
 		s.cfg.Metrics.Counter("server.rejected.backpressure").Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
@@ -98,7 +100,7 @@ func (s *Server) admitAndExecute(w http.ResponseWriter, r *http.Request, deadlin
 	defer cancel()
 
 	start := time.Now()
-	results, err := s.execute(ctx, p, items)
+	outcomes, err := s.executeCells(ctx, p, cells, nil)
 	wall := time.Since(start)
 	s.cfg.Metrics.Histogram("server.request.wall_ns").Observe(uint64(wall))
 	if err != nil {
@@ -106,7 +108,15 @@ func (s *Server) admitAndExecute(w http.ResponseWriter, r *http.Request, deadlin
 		s.writeError(w, http.StatusGatewayTimeout, "request expired: %v", err)
 		return nil, 0, false
 	}
-	return results, wall.Nanoseconds(), true
+	return outcomes, wall.Nanoseconds(), true
+}
+
+// outcomeStatus maps a cell failure to its HTTP status.
+func outcomeStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -135,24 +145,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p := s.paramsFor(req.Instructions, req.Warmup, req.Seed)
-	results, _, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, items)
+	cells := cellsFor(&p, items)
+	outcomes, _, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, cells)
 	if !ok {
 		return
 	}
 
-	item := items[0]
-	res := results[p.CacheKey(item.Bench, item.Config)]
-	if res.Err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled) {
-			status = http.StatusGatewayTimeout
-		}
-		s.writeError(w, status, "simulation failed: %v", res.Err)
-		return
-	}
-	run, okType := res.Value.(stats.Run)
-	if !okType {
-		s.writeError(w, http.StatusInternalServerError, "unexpected result type %T", res.Value)
+	c := cells[0]
+	o := outcomes[c.key]
+	if o.err != nil {
+		s.writeError(w, outcomeStatus(o.err), "simulation failed: %v", o.err)
 		return
 	}
 	s.cfg.Metrics.Counter("server.run.completed").Inc()
@@ -160,7 +162,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Seed:         p.Seed,
 		Instructions: p.Instructions,
 		Warmup:       p.Warmup,
-		Result:       resultFor(item, &run, res.Wall.Nanoseconds(), nil),
+		Result:       resultForCell(c, o),
 	})
 }
 
@@ -196,63 +198,218 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Deduplicate identical cells (first occurrence wins) and enforce
 	// the sweep-size bound on the deduplicated matrix.
-	type cell struct {
-		item experiments.MatrixItem
-		key  string
-	}
-	seen := make(map[string]bool, len(items))
-	cells := make([]cell, 0, len(items))
-	for _, it := range items {
-		key := p.CacheKey(it.Bench, it.Config)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		cells = append(cells, cell{item: it, key: key})
-	}
+	cells := cellsFor(&p, items)
 	if len(cells) > s.cfg.MaxSweepJobs {
 		s.writeError(w, http.StatusRequestEntityTooLarge, "sweep expands to %d jobs, cap is %d", len(cells), s.cfg.MaxSweepJobs)
 		return
 	}
 
-	unique := make([]experiments.MatrixItem, len(cells))
-	for i, c := range cells {
-		unique[i] = c.item
-	}
-	results, wallNS, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, unique)
-	if !ok {
+	if req.Stream {
+		s.streamSweep(w, r, req, &p, cells, len(items))
 		return
 	}
 
+	outcomes, wallNS, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, cells)
+	if !ok {
+		return
+	}
+	resp := buildSweepResponse(req, &p, cells, outcomes, len(items), wallNS, true)
+	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamSweep is the NDJSON serving path: one "result" line per cell in
+// completion order (CAS hits land first), then one "summary" line.
+// Admission failure (429) is an ordinary HTTP error; past admission the
+// 200 status commits immediately — clients must not wait for headers
+// while cells execute — so later failures (deadline, cancellation) ride
+// the summary line's "error" field instead of the status code.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, p *experiments.Params, cells []sweepCell, jobs int) {
+	if !s.admit() {
+		s.cfg.Metrics.Counter("server.rejected.backpressure").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "admission queue full (%d requests in flight); retry later", cap(s.slots))
+		return
+	}
+	defer s.releaseSlot()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(c sweepCell, o cellOutcome) {
+		res := resultForCell(c, o)
+		if err := enc.Encode(StreamLine{Type: "result", Result: &res}); err != nil {
+			return // client gone; the request context cancels the rest
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	start := time.Now()
+	outcomes, err := s.executeCells(ctx, p, cells, emit)
+	wall := time.Since(start)
+	s.cfg.Metrics.Histogram("server.request.wall_ns").Observe(uint64(wall))
+	if err != nil {
+		s.cfg.Metrics.Counter("server.rejected.deadline").Inc()
+	}
+	summary := buildSweepResponse(req, p, cells, outcomes, jobs, wall.Nanoseconds(), false)
+	line := StreamLine{Type: "summary", Summary: &summary}
+	if err != nil {
+		line.Error = err.Error()
+	}
+	_ = enc.Encode(line) // client gone mid-stream: nothing left to tell it
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
+}
+
+// buildSweepResponse assembles the sweep summary (and, when
+// includeResults is set, the per-cell results) from the outcome map.
+func buildSweepResponse(req SweepRequest, p *experiments.Params, cells []sweepCell, outcomes map[string]cellOutcome, jobs int, wallNS int64, includeResults bool) SweepResponse {
 	resp := SweepResponse{
 		Seed:         p.Seed,
 		Instructions: p.Instructions,
 		Warmup:       p.Warmup,
-		Jobs:         len(items),
+		Jobs:         jobs,
 		Unique:       len(cells),
 		WallNS:       wallNS,
-		Results:      make([]RunResult, 0, len(cells)),
 	}
+	results := make([]RunResult, 0, len(cells))
+	runs := make(map[string]stats.Run, len(cells))
 	for _, c := range cells {
-		res := results[c.key]
-		if res.Err != nil {
+		o := outcomes[c.key]
+		if o.err == nil && o.run != nil {
+			runs[c.key] = *o.run
+		} else {
 			resp.Errors++
-			resp.Results = append(resp.Results, resultFor(c.item, nil, res.Wall.Nanoseconds(), res.Err))
-			continue
 		}
-		run, okType := res.Value.(stats.Run)
-		if !okType {
-			resp.Errors++
-			resp.Results = append(resp.Results, resultFor(c.item, nil, res.Wall.Nanoseconds(), fmt.Errorf("unexpected result type %T", res.Value)))
-			continue
+		if o.source == "cas" {
+			resp.CASHits++
 		}
-		resp.Results = append(resp.Results, resultFor(c.item, &run, res.Wall.Nanoseconds(), nil))
+		results = append(results, resultForCell(c, o))
 	}
+	resp.Fingerprint = fabric.Fingerprint(runs)
 	if len(req.Generators) > 0 {
-		resp.GeneratorComparison = buildGeneratorComparison(resp.Results)
+		resp.GeneratorComparison = buildGeneratorComparison(results)
 	} else {
-		resp.Comparison = buildComparison(resp.Results)
+		resp.Comparison = buildComparison(results)
 	}
-	s.cfg.Metrics.Counter("server.sweep.completed").Inc()
-	writeJSON(w, http.StatusOK, resp)
+	if includeResults {
+		resp.Results = results
+	}
+	return resp
+}
+
+// handleCellPost is the fabric's worker-side endpoint: execute one cell
+// (Run absent) or fill the local CAS with a completed result (Run
+// present). The coordinator cross-checks the returned key against its
+// own, so key computation happens here with the same experiments code
+// path every node runs.
+func (s *Server) handleCellPost(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.cfg.Metrics.Counter("server.cell.requests").Inc()
+	if s.draining.Load() {
+		s.cfg.Metrics.Counter("server.rejected.draining").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req fabric.CellRequest
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if req.Config == nil {
+		s.writeError(w, http.StatusBadRequest, "config is required")
+		return
+	}
+	if err := validateBenchmarks([]string{req.Bench}); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+	if req.Instructions > s.cfg.MaxInstructions {
+		s.writeError(w, http.StatusBadRequest, "instructions %d exceeds the per-request cap %d", req.Instructions, s.cfg.MaxInstructions)
+		return
+	}
+
+	p := s.paramsFor(req.Instructions, req.Warmup, req.Seed)
+	key := p.CacheKey(req.Bench, *req.Config)
+
+	if req.Run != nil { // fill mode
+		if s.cfg.CAS == nil {
+			s.writeError(w, http.StatusNotImplemented, "no content-addressed store configured (-cas-dir)")
+			return
+		}
+		if err := s.cfg.CAS.Put(key, *req.Run); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "cas fill: %v", err)
+			return
+		}
+		s.cfg.Metrics.Counter("server.cell.fills").Inc()
+		writeJSON(w, http.StatusOK, fabric.CellResponse{Key: key, KeySHA: fabric.KeySHA(key)})
+		return
+	}
+
+	// Hot cells answer straight from the store without occupying an
+	// execution slot.
+	if s.cfg.CAS != nil {
+		if run, ok, _ := s.cfg.CAS.Get(key); ok {
+			s.cfg.Metrics.Counter("server.cell.completed").Inc()
+			writeJSON(w, http.StatusOK, fabric.CellResponse{Key: key, KeySHA: fabric.KeySHA(key), Run: &run, Source: "cas"})
+			return
+		}
+	}
+	cells := []sweepCell{{item: experiments.MatrixItem{Bench: req.Bench, Config: *req.Config}, key: key}}
+	outcomes, _, ok := s.admitAndExecute(w, r, req.DeadlineMS, &p, cells)
+	if !ok {
+		return
+	}
+	o := outcomes[key]
+	if o.err != nil {
+		s.writeError(w, outcomeStatus(o.err), "simulation failed: %v", o.err)
+		return
+	}
+	s.cfg.Metrics.Counter("server.cell.completed").Inc()
+	writeJSON(w, http.StatusOK, fabric.CellResponse{Key: key, KeySHA: fabric.KeySHA(key), Run: o.run, WallNS: o.wallNS, Source: "sim"})
+}
+
+// handleCellGet is the sha-addressed CAS lookup: GET /v1/cell?sha=<64
+// hex chars> answers the stored envelope or 404. Read-only, so it stays
+// available while draining.
+func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.cfg.CAS == nil {
+		s.writeError(w, http.StatusNotImplemented, "no content-addressed store configured (-cas-dir)")
+		return
+	}
+	sha := r.URL.Query().Get("sha")
+	if len(sha) != 64 {
+		s.writeError(w, http.StatusBadRequest, "sha must be 64 hex chars, got %d", len(sha))
+		return
+	}
+	key, run, ok, err := s.cfg.CAS.GetSHA(sha)
+	if err != nil {
+		// A corrupt or mismatched entry reads as a miss; say why.
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no entry for %s", sha)
+		return
+	}
+	writeJSON(w, http.StatusOK, fabric.CellResponse{Key: key, KeySHA: sha, Run: &run, Source: "cas"})
 }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -74,6 +75,16 @@ type Config struct {
 	// Metrics receives service + harness telemetry and backs /metrics.
 	// Nil allocates a fresh registry.
 	Metrics *metrics.Registry
+	// CAS, when non-nil, is the on-disk content-addressed result store:
+	// it backs GET/fill on /v1/cell and becomes the persistent level
+	// behind the in-process memo (experiments.RunStore), so results
+	// survive restarts and repeated sweeps answer without simulating.
+	CAS *fabric.CAS
+	// Coordinator, when non-nil, turns this instance into a sweep
+	// coordinator: /v1/run and /v1/sweep execute by dealing cells to the
+	// coordinator's remote workers (CAS-first) instead of simulating
+	// locally.
+	Coordinator *fabric.Coordinator
 }
 
 // withDefaults fills unset fields.
@@ -132,8 +143,8 @@ type Server struct {
 // New builds a Server from cfg (zero value accepted).
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg.withDefaults(),
-		mux:   http.NewServeMux(),
+		cfg: cfg.withDefaults(),
+		mux: http.NewServeMux(),
 		runSim: func(ctx context.Context, p *experiments.Params, bench string, cfg config.Config) (stats.Run, error) {
 			return p.RunSim(ctx, bench, cfg)
 		},
@@ -196,12 +207,16 @@ func (s *Server) paramsFor(instructions int64, warmup *int64, seed uint64) exper
 	if warmup != nil {
 		w = *warmup
 	}
-	return experiments.Params{
+	p := experiments.Params{
 		Instructions: instructions,
 		Warmup:       w,
 		Seed:         seed,
 		Metrics:      s.cfg.Metrics,
 	}
+	if s.cfg.CAS != nil {
+		p.Store = s.cfg.CAS
+	}
+	return p
 }
 
 // deadlineFor resolves a request's effective deadline.
@@ -216,10 +231,48 @@ func (s *Server) deadlineFor(deadlineMS int64) time.Duration {
 	return d
 }
 
-// execute runs the (deduplicated) matrix on the work-stealing pool and
-// returns one result per unique cache key. It waits, deadline-aware,
-// for an execution token so at most MaxConcurrent batches run at once.
-func (s *Server) execute(ctx context.Context, p *experiments.Params, items []experiments.MatrixItem) (map[string]sched.Result, error) {
+// sweepCell pairs one deduplicated matrix item with its cache key — the
+// execution unit every serving path (local pool, fabric, streaming)
+// works in.
+type sweepCell struct {
+	item experiments.MatrixItem
+	key  string
+}
+
+// cellOutcome is one cell's result, independent of where it ran.
+type cellOutcome struct {
+	run    *stats.Run
+	err    error
+	wallNS int64
+	// source reports fabric provenance ("cas" or a worker URL); empty
+	// for single-node execution.
+	source string
+}
+
+// cellsFor builds the deduplicated cell list for a matrix (first
+// occurrence wins), preserving item order.
+func cellsFor(p *experiments.Params, items []experiments.MatrixItem) []sweepCell {
+	seen := make(map[string]bool, len(items))
+	cells := make([]sweepCell, 0, len(items))
+	for _, it := range items {
+		key := p.CacheKey(it.Bench, it.Config)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cells = append(cells, sweepCell{item: it, key: key})
+	}
+	return cells
+}
+
+// executeCells runs the deduplicated cells and returns one outcome per
+// key. It waits, deadline-aware, for an execution token so at most
+// MaxConcurrent batches run at once. emit, when non-nil, is called once
+// per cell as its result lands (completion order, serialized) — the
+// streaming hook. With a Coordinator configured, cells are dealt to the
+// remote worker fleet (CAS-first); otherwise they run on the local
+// work-stealing pool.
+func (s *Server) executeCells(ctx context.Context, p *experiments.Params, cells []sweepCell, emit func(sweepCell, cellOutcome)) (map[string]cellOutcome, error) {
 	select {
 	case s.exec <- struct{}{}:
 		defer func() { <-s.exec }()
@@ -227,22 +280,68 @@ func (s *Server) execute(ctx context.Context, p *experiments.Params, items []exp
 		return nil, fmt.Errorf("server: queued past deadline: %w", ctx.Err())
 	}
 
+	outcomes := make(map[string]cellOutcome, len(cells))
+	var mu sync.Mutex
+	record := func(c sweepCell, o cellOutcome) {
+		mu.Lock()
+		outcomes[c.key] = o
+		if emit != nil {
+			emit(c, o)
+		}
+		mu.Unlock()
+	}
+
+	if s.cfg.Coordinator != nil {
+		byKey := make(map[string]sweepCell, len(cells))
+		fcells := make([]fabric.Cell, len(cells))
+		for i, c := range cells {
+			byKey[c.key] = c
+			fcells[i] = fabric.Cell{Key: c.key, Bench: c.item.Bench, Config: c.item.Config, Generator: c.item.Generator}
+		}
+		fp := fabric.Params{Instructions: p.Instructions, Warmup: p.Warmup, Seed: p.Seed}
+		ctxErr := s.cfg.Coordinator.Run(ctx, fp, fcells, p.CostModel(), func(r fabric.Result) {
+			o := cellOutcome{wallNS: r.Wall.Nanoseconds(), source: r.Source, err: r.Err}
+			if r.Err == nil {
+				run := r.Run
+				o.run = &run
+			}
+			record(byKey[r.Cell.Key], o)
+		})
+		return outcomes, ctxErr
+	}
+
 	cost := p.CostModel()
-	jobs := make([]sched.Job, 0, len(items))
-	for _, it := range items {
-		it := it
+	jobs := make([]sched.Job, 0, len(cells))
+	for _, c := range cells {
+		c := c
 		jobs = append(jobs, sched.Job{
-			Key:  p.CacheKey(it.Bench, it.Config),
-			Cost: cost(it.Bench),
+			Key:  c.key,
+			Cost: cost(c.item.Bench),
 			Run: func(ctx context.Context) (any, error) {
-				r, err := s.runSim(ctx, p, it.Bench, it.Config)
-				if err != nil {
-					return nil, err
+				start := time.Now()
+				r, err := s.runSim(ctx, p, c.item.Bench, c.item.Config)
+				o := cellOutcome{wallNS: time.Since(start).Nanoseconds(), err: err}
+				if err == nil {
+					o.run = &r
 				}
-				return r, nil
+				record(c, o)
+				return nil, err
 			},
 		})
 	}
-	results, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
-	return results, ctxErr
+	_, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
+	// Cells the cancellation sweep never started have no outcome yet.
+	for _, c := range cells {
+		mu.Lock()
+		_, ok := outcomes[c.key]
+		mu.Unlock()
+		if !ok {
+			err := ctxErr
+			if err == nil {
+				err = fmt.Errorf("server: cell never ran")
+			}
+			record(c, cellOutcome{err: err})
+		}
+	}
+	return outcomes, ctxErr
 }

@@ -103,11 +103,14 @@ func LoadManifest(path string) (Manifest, error) {
 }
 
 // SaveManifest writes m to path as indented JSON with entries sorted by
-// name, so regenerated manifests diff cleanly.
+// name, so regenerated manifests diff cleanly. Saving has no visible
+// side effect on the caller: the sort happens on a copied slice, never
+// through m's backing array.
 func SaveManifest(path string, m Manifest) error {
 	if m.Version == 0 {
 		m.Version = ManifestVersion
 	}
+	m.Traces = append([]ManifestEntry(nil), m.Traces...)
 	sort.Slice(m.Traces, func(i, j int) bool { return m.Traces[i].Name < m.Traces[j].Name })
 	if err := m.Validate(); err != nil {
 		return err
@@ -138,6 +141,11 @@ var (
 // With cfg.Verify, every file is fully scanned (CRC per chunk, stream
 // fingerprint and record count against the manifest); otherwise only
 // the file header is checked.
+//
+// Registration is all-or-nothing: every entry is validated — file
+// check, conflict check, and workload-name availability — before any
+// entry mutates the workload registry, so a failing manifest leaves the
+// process exactly as it was.
 func RegisterCorpus(cfg config.TraceConfig) ([]string, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -149,6 +157,14 @@ func RegisterCorpus(cfg config.TraceConfig) ([]string, error) {
 	dir := filepath.Dir(cfg.Manifest)
 	regMu.Lock()
 	defer regMu.Unlock()
+
+	// Phase 1: validate every entry without touching any registry.
+	type pending struct {
+		bench string
+		path  string
+		e     ManifestEntry
+	}
+	var commits []pending
 	names := make([]string, 0, len(m.Traces))
 	for _, e := range m.Traces {
 		bench := BenchPrefix + e.Name
@@ -159,6 +175,9 @@ func RegisterCorpus(cfg config.TraceConfig) ([]string, error) {
 			}
 			return nil, fmt.Errorf("tracefile: %s already registered with sha256 %s, manifest has %s", bench, prev, e.SHA256)
 		}
+		if _, taken := workload.ByName(bench); taken {
+			return nil, fmt.Errorf("tracefile: benchmark %q already exists in the workload registry", bench)
+		}
 		path := e.File
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(dir, path)
@@ -166,19 +185,28 @@ func RegisterCorpus(cfg config.TraceConfig) ([]string, error) {
 		if err := checkEntry(path, e, cfg.MaxChunkBytes, cfg.Verify); err != nil {
 			return nil, err
 		}
+		commits = append(commits, pending{bench: bench, path: path, e: e})
+	}
+
+	// Phase 2: commit. Every entry passed validation, so registration
+	// can only fail on a workload-name collision — which phase 1 ruled
+	// out under the same lock.
+	for _, c := range commits {
+		c := c
 		spec := workload.Spec{
-			Name:  bench,
+			Name:  c.bench,
 			Suite: "trace",
-			Input: filepath.Base(e.File),
+			Input: filepath.Base(c.e.File),
 			New: func(seed uint64) isa.Source {
 				// Replay is seed-independent: the trace is the program.
-				return newFileSource(path, cfg.MaxChunkBytes)
+				return newFileSource(c.path, cfg.MaxChunkBytes)
 			},
 		}
 		if err := workload.RegisterExternal(spec); err != nil {
+			// Unreachable given phase 1; surface it rather than hide it.
 			return nil, err
 		}
-		registered[bench] = e.SHA256
+		registered[c.bench] = c.e.SHA256
 	}
 	sort.Strings(names)
 	return names, nil

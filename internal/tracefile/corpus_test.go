@@ -142,6 +142,90 @@ func TestRegisterCorpusConflict(t *testing.T) {
 	}
 }
 
+// TestRegisterCorpusAllOrNothing pins the atomicity contract: a
+// manifest whose later entry fails validation must leave the process
+// exactly as it was — no trace registered, no workload mutated — even
+// though earlier entries validated fine.
+func TestRegisterCorpusAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	manifest, good := writeCorpus(t, dir, "corpus-atomic-good", genRecords(100))
+
+	// Append a second entry whose file does not exist: it fails after the
+	// first entry has already passed every check.
+	m, err := LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Upsert(ManifestEntry{
+		Name:          "corpus-atomic-missing",
+		File:          "does-not-exist.pftc",
+		SHA256:        strings.Repeat("d", 64),
+		Records:       1,
+		FormatVersion: Version,
+	})
+	if err := SaveManifest(manifest, m); err != nil {
+		t.Fatal(err)
+	}
+
+	before := Registered()
+	if _, err := RegisterCorpus(config.TraceConfig{Manifest: manifest}); err == nil {
+		t.Fatal("RegisterCorpus accepted a manifest with a missing file")
+	}
+	after := Registered()
+	if len(after) != len(before) {
+		t.Fatalf("failed registration mutated the trace registry: before %v, after %v", before, after)
+	}
+	if _, ok := workload.ByName(BenchPrefix + good.Name); ok {
+		t.Fatalf("failed registration leaked %q into the workload registry", BenchPrefix+good.Name)
+	}
+	if _, ok := workload.ByName(BenchPrefix + "corpus-atomic-missing"); ok {
+		t.Fatal("failed registration leaked the failing entry into the workload registry")
+	}
+
+	// Drop the bad entry: the same manifest now registers cleanly,
+	// proving the failed attempt left nothing half-done behind.
+	m.Traces = m.Traces[:0]
+	m.Upsert(good)
+	if err := SaveManifest(manifest, m); err != nil {
+		t.Fatal(err)
+	}
+	names, err := RegisterCorpus(config.TraceConfig{Manifest: manifest})
+	if err != nil {
+		t.Fatalf("re-register after failed attempt: %v", err)
+	}
+	if len(names) != 1 || names[0] != BenchPrefix+good.Name {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestSaveManifestDoesNotReorderCaller pins that SaveManifest sorts a
+// copy: the caller's entry order (and backing array) stay untouched.
+func TestSaveManifestDoesNotReorderCaller(t *testing.T) {
+	entries := []ManifestEntry{
+		{Name: "zz", File: "zz.pftc", SHA256: strings.Repeat("a", 64), Records: 1, FormatVersion: Version},
+		{Name: "aa", File: "aa.pftc", SHA256: strings.Repeat("b", 64), Records: 2, FormatVersion: Version},
+		{Name: "mm", File: "mm.pftc", SHA256: strings.Repeat("c", 64), Records: 3, FormatVersion: Version},
+	}
+	m := Manifest{Version: ManifestVersion, Traces: entries}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := SaveManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"zz", "aa", "mm"} {
+		if entries[i].Name != want {
+			t.Fatalf("SaveManifest reordered the caller's slice: %v", entries)
+		}
+	}
+	// The file itself is sorted.
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Traces[0].Name != "aa" || got.Traces[1].Name != "mm" || got.Traces[2].Name != "zz" {
+		t.Fatalf("saved manifest not sorted: %+v", got.Traces)
+	}
+}
+
 func TestManifestValidate(t *testing.T) {
 	good := ManifestEntry{Name: "x", File: "x.pftc", SHA256: strings.Repeat("a", 64), Records: 1, FormatVersion: Version}
 	cases := []struct {

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed sweep fabric (docs/FABRIC.md).
+#
+# Topology: two worker daemons and one coordinator sharing a CAS
+# directory, plus an independent standalone daemon as the determinism
+# oracle. The script
+#
+#   1. streams a 16-cell sweep through the coordinator and SIGKILLs one
+#      worker right after the first NDJSON result line — the sweep must
+#      still complete with zero errors on the survivor;
+#   2. asserts the sweep fingerprint against the committed pin
+#      (scripts/fabric_smoke.fingerprint) and against the same sweep on
+#      the standalone daemon — sharded and single-node must agree byte
+#      for byte;
+#   3. re-runs the sweep and asserts every cell answers from the CAS:
+#      cas_hits == unique, and the surviving worker performs zero new
+#      simulations (its experiments_cache_misses counter is unchanged).
+#
+# Self-contained: builds pfserved, uses only loopback ports and a temp
+# dir, and cleans up on exit. Requires curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_COORD=8094
+PORT_W1=8095
+PORT_W2=8096
+PORT_SOLO=8097
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for p in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+die() { echo "fabric-smoke: $*" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  die "127.0.0.1:$1 never became healthy"
+}
+
+misses() { # experiments_cache_misses on a daemon, 0 if not yet emitted
+  local v
+  v=$(curl -sf "http://127.0.0.1:$1/metrics" | awk '/^experiments_cache_misses /{print $2}')
+  echo "${v:-0}"
+}
+
+go build -o "$TMP/pfserved" ./cmd/pfserved
+
+"$TMP/pfserved" -role worker -addr 127.0.0.1:$PORT_W1 -cas-dir "$TMP/cas" &
+W1=$!
+PIDS+=("$W1")
+"$TMP/pfserved" -role worker -addr 127.0.0.1:$PORT_W2 -cas-dir "$TMP/cas" &
+PIDS+=("$!")
+wait_healthy $PORT_W1
+wait_healthy $PORT_W2
+
+"$TMP/pfserved" -role coordinator -addr 127.0.0.1:$PORT_COORD -cas-dir "$TMP/cas" \
+  -workers "http://127.0.0.1:$PORT_W1,http://127.0.0.1:$PORT_W2" &
+PIDS+=("$!")
+"$TMP/pfserved" -role standalone -addr 127.0.0.1:$PORT_SOLO &
+PIDS+=("$!")
+wait_healthy $PORT_COORD
+wait_healthy $PORT_SOLO
+
+# 8 benchmarks x 2 filters = 16 cells; big enough that the sweep is
+# still in flight when the kill lands one result into the stream.
+SWEEP='{"benchmarks":["mcf","gzip","gcc","bh","em3d","perimeter","ijpeg","gap"],
+        "filters":["none","pa"],"instructions":200000,"warmup":50000,"seed":1'
+CELLS=16
+
+# --- Run 1: streaming sweep, SIGKILL worker 1 after the first result.
+echo "fabric-smoke: streaming sweep, killing worker $W1 after first result"
+curl -sN "http://127.0.0.1:$PORT_COORD/v1/sweep" -d "$SWEEP,\"stream\":true}" | {
+  IFS= read -r first || exit 1
+  printf '%s\n' "$first"
+  kill -9 "$W1" 2>/dev/null || true
+  cat
+} >"$TMP/stream.ndjson" || die "streaming sweep failed"
+
+RESULTS=$(grep -c '"type":"result"' "$TMP/stream.ndjson" || true)
+[ "$RESULTS" -eq "$CELLS" ] || die "stream carried $RESULTS results, want $CELLS"
+SUMMARY=$(grep '"type":"summary"' "$TMP/stream.ndjson")
+echo "$SUMMARY" | jq -e \
+  ".summary.errors == 0 and .summary.unique == $CELLS and (has(\"error\") | not)" >/dev/null ||
+  die "summary reports errors despite re-dealing: $SUMMARY"
+FP=$(echo "$SUMMARY" | jq -r .summary.fingerprint)
+[ -n "$FP" ] && [ "$FP" != null ] || die "summary has no fingerprint"
+
+# The coordinator must have noticed the corpse and re-dealt its cells.
+curl -sf "http://127.0.0.1:$PORT_COORD/metrics" >"$TMP/coord.metrics"
+grep -Eq '^fabric_workers_dead 1$' "$TMP/coord.metrics" ||
+  die "coordinator never declared the killed worker dead"
+
+# --- Determinism: pinned fingerprint, and sharded == standalone.
+PIN=$(cat scripts/fabric_smoke.fingerprint)
+[ "$FP" = "$PIN" ] || die "sweep fingerprint $FP != pinned $PIN"
+FP_SOLO=$(curl -sf "http://127.0.0.1:$PORT_SOLO/v1/sweep" -d "$SWEEP}" | jq -r .fingerprint)
+[ "$FP" = "$FP_SOLO" ] || die "sharded fingerprint $FP != standalone $FP_SOLO"
+
+# --- Run 2: identical sweep answers entirely from the CAS — no cell
+# reaches a worker, the survivor simulates nothing new.
+MISSES_BEFORE=$(misses $PORT_W2)
+R2=$(curl -sf "http://127.0.0.1:$PORT_COORD/v1/sweep" -d "$SWEEP}")
+echo "$R2" | jq -e \
+  ".errors == 0 and .cas_hits == $CELLS and .fingerprint == \"$FP\"" >/dev/null ||
+  die "repeat sweep was not served from the CAS: $R2"
+MISSES_AFTER=$(misses $PORT_W2)
+[ "$MISSES_BEFORE" = "$MISSES_AFTER" ] ||
+  die "repeat sweep simulated: worker misses $MISSES_BEFORE -> $MISSES_AFTER"
+
+echo "fabric-smoke: OK ($CELLS cells, fingerprint $FP, repeat run 100% CAS)"
