@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke trace-smoke fabric-smoke
+.PHONY: build test race lint fuzz-smoke bench-smoke trace-smoke fabric-smoke iprefetch-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ trace-smoke:
 # and CAS-hit assertions. Fully self-contained; see the script.
 fabric-smoke:
 	./scripts/fabric_smoke.sh
+
+# I-side (iprefetcher x filter) matrix smoke (docs/FRONTEND.md): every
+# registered instruction prefetcher crossed with none/pa on one
+# benchmark, then the pinned per-backend fingerprints.
+iprefetch-smoke:
+	$(GO) run ./cmd/pfexperiments -iprefetch all -filters none,pa -bench mcf \
+		-n 100000 -warmup 20000
+	$(GO) test -run 'TestIPrefetchFingerprintPinned|TestIPrefetchAliasRunsIdentical' \
+		./internal/experiments/
 
 # Reduced bench matrix; see docs/PERFORMANCE.md for the full policy.
 bench-smoke:

@@ -323,7 +323,7 @@ func init() {
 	// artifacts the benchmarks above cover. The "traces" experiment has
 	// no benchmark entry: without a registered corpus it renders a
 	// note-only table, so there is nothing stable to time here.
-	if got := len(experiments.All()); got != 30 {
+	if got := len(experiments.All()); got != 31 {
 		panic(fmt.Sprintf("bench harness out of date: %d experiments registered", got))
 	}
 }

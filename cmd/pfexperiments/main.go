@@ -16,6 +16,8 @@
 //	pfexperiments -generators berti,ghb -filters pa -bench stream
 //	pfexperiments -traces corpus.json            # trace corpus x filter zoo
 //	pfexperiments -traces corpus.json -filters pa,perceptron
+//	pfexperiments -iprefetch all -filters all    # I-side (iprefetcher x filter) cross-product
+//	pfexperiments -iprefetch mana -filters pa -bench mcf
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters, generators, traces)")
+		exp      = flag.String("exp", "", "experiment ID (table1, table2, fig1..fig16, baselines, extras, ablation, taxonomy, energy, adaptivity, variance, multiprog, aggression, memlat, filters, generators, traces, iprefetch)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -50,6 +52,7 @@ func main() {
 		benchJSN = flag.Bool("bench-json", false, "run the timed (benchmark x filter) bench matrix and write a BENCH JSON report")
 		filters  = flag.String("filters", "", "comma-separated filter backends to compare head to head, or \"all\" for every sweepable backend")
 		gens     = flag.String("generators", "", "comma-separated prefetch generators to cross with -filters (or \"all\"); runs the (generator x filter) comparison")
+		iprefs   = flag.String("iprefetch", "", "comma-separated instruction prefetchers to cross with -filters (or \"all\"); enables the front end and runs the (iprefetcher x filter) comparison")
 		traces   = flag.String("traces", "", "trace-corpus manifest (docs/TRACES.md); registers each trace as benchmark trace:<name>, points the benchmark set at the corpus unless -bench overrides, and without another mode flag runs the corpus x filter comparison")
 		traceVer = flag.Bool("verify-traces", false, "fully scan every corpus trace before running (per-chunk CRCs, stream fingerprint vs manifest)")
 	)
@@ -114,6 +117,40 @@ func main() {
 		fmt.Printf("bench matrix: %d sims in %.1fs (serial-equivalent %.1fs, speedup %.2fx, %d steals) -> %s\n",
 			len(report.Entries), time.Since(start).Seconds(),
 			time.Duration(report.SerialWallNS).Seconds(), report.Speedup(), report.Steals, *benchOut)
+		if *met {
+			printTelemetry(&params)
+		}
+		return
+	}
+
+	if *iprefs != "" {
+		iprefKinds := []string(nil) // "all" selects every registered backend
+		if *iprefs != "all" {
+			iprefKinds = strings.Split(*iprefs, ",")
+		}
+		filterKinds := []string(nil) // empty selects every sweepable backend
+		if *filters != "" && *filters != "all" {
+			filterKinds = strings.Split(*filters, ",")
+		}
+		rows, err := params.IFilterComparison(ctx, iprefKinds, filterKinds, jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfexperiments: iprefetch: %v\n", err)
+			os.Exit(1)
+		}
+		table := report.IPrefetchComparison("Instruction-prefetcher zoo crossed with filters (front end enabled)", rows)
+		var werr error
+		switch {
+		case *csv:
+			werr = table.WriteCSV(os.Stdout)
+		case *md:
+			werr = table.WriteMarkdown(os.Stdout)
+		default:
+			werr = table.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pfexperiments:", werr)
+			os.Exit(1)
+		}
 		if *met {
 			printTelemetry(&params)
 		}

@@ -129,6 +129,49 @@ func PrefetchKinds() []PrefetchKind {
 	return []PrefetchKind{PrefetchNSP, PrefetchSDP, PrefetchStride, PrefetchCorrelation, PrefetchBerti, PrefetchGHB}
 }
 
+// IPrefetchKind names an instruction-prefetch backend from the
+// internal/frontend registry.
+type IPrefetchKind string
+
+// Instruction prefetchers known to the simulator.
+const (
+	// IPrefetchNone disables instruction prefetching: the L1I serves the
+	// fetch stream on demand only.
+	IPrefetchNone IPrefetchKind = "none"
+	// IPrefetchNextLine is the next-line/fetch-directed baseline: run a
+	// configurable number of sequential blocks ahead of the live fetch
+	// stream (which already includes taken-branch redirects).
+	IPrefetchNextLine IPrefetchKind = "nextline"
+	// IPrefetchMANA is the MANA-lite spatial-region prefetcher
+	// (Ansari et al., arXiv 2102.01764): per-region footprint records
+	// keyed by the trigger PC that entered the region, replayed on
+	// re-encounter, in bounded log2-sized tables.
+	IPrefetchMANA IPrefetchKind = "mana"
+)
+
+// IPrefetchFDIPAlias is accepted anywhere an IPrefetchKind is parsed;
+// Canonical() folds it onto IPrefetchNextLine so configs naming either
+// spelling build the same machine (and share memo cache entries).
+const IPrefetchFDIPAlias IPrefetchKind = "fetch-directed" // alias of IPrefetchNextLine
+
+// Canonical resolves aliases to the canonical kind name.
+func (k IPrefetchKind) Canonical() IPrefetchKind {
+	if k == IPrefetchFDIPAlias {
+		return IPrefetchNextLine
+	}
+	return k
+}
+
+// Valid reports whether k (or its canonical form) names a known
+// instruction-prefetch kind.
+func (k IPrefetchKind) Valid() bool {
+	switch k.Canonical() {
+	case IPrefetchNone, IPrefetchNextLine, IPrefetchMANA:
+		return true
+	}
+	return false
+}
+
 // ReplacementPolicy selects how a set-associative cache picks a victim.
 type ReplacementPolicy string
 
@@ -526,6 +569,91 @@ func (c TraceConfig) Validate() error {
 	return nil
 }
 
+// Default log2-sized table budgets for the MANA-lite instruction
+// prefetcher: 1024 footprint records over 8-block (256B) regions.
+const (
+	DefaultManaRecordsLog2 = 10
+	DefaultManaRegionLog2  = 3
+)
+
+// maxManaRegionLog2 bounds the spatial-region size: footprints are one
+// 64-bit bitvector, so a region is at most 2^6 blocks.
+const maxManaRegionLog2 = 6
+
+// FrontendConfig describes the I-side front end: the L1I geometry, the
+// instruction-prefetch backend, and its bounded table budgets. It hangs
+// off Config as an optional pointer so machines that never model the
+// instruction side keep their pre-frontend canonical JSON encoding —
+// and therefore their memo cache keys and harness fingerprints —
+// byte-identical.
+type FrontendConfig struct {
+	// L1I is the instruction cache beside the L1D; its line size must
+	// match the L2's.
+	L1I CacheConfig `json:"l1i"`
+	// IPrefetch selects the instruction-prefetch backend ("none"
+	// disables prefetching but keeps the L1I).
+	IPrefetch IPrefetchKind `json:"iprefetch"`
+	// QueueEntries bounds the instruction-prefetch request queue.
+	QueueEntries int `json:"queue_entries"`
+	// Degree caps the candidates a backend may emit per fetch-block
+	// event (sequential depth for nextline, footprint replay width for
+	// mana).
+	Degree int `json:"degree"`
+	// ManaRecordsLog2 is the log2 size of the MANA record table; only
+	// meaningful (and only validated) when IPrefetch is "mana".
+	ManaRecordsLog2 int `json:"mana_records_log2,omitempty"`
+	// ManaRegionLog2 is the log2 spatial-region size in blocks, at most
+	// 6 (footprints are one 64-bit bitvector per record).
+	ManaRegionLog2 int `json:"mana_region_log2,omitempty"`
+}
+
+// DefaultFrontend returns the default I-side machine: an 8KB
+// direct-mapped 1-cycle single-ported L1I matching the Table 1 L1D
+// geometry, no instruction prefetching.
+func DefaultFrontend() FrontendConfig {
+	return FrontendConfig{
+		L1I: CacheConfig{
+			SizeBytes:     8 * 1024,
+			LineBytes:     32,
+			Assoc:         1,
+			LatencyCycles: 1,
+			Ports:         1,
+			Replacement:   ReplaceLRU,
+		},
+		IPrefetch:    IPrefetchNone,
+		QueueEntries: 32,
+		Degree:       2,
+	}
+}
+
+// Validate checks the front-end parameters against the L2 line size.
+func (c FrontendConfig) Validate(l2LineBytes int) error {
+	if err := c.L1I.Validate("l1i"); err != nil {
+		return err
+	}
+	if c.L1I.LineBytes != l2LineBytes {
+		return fmt.Errorf("frontend: l1i line size %d must equal l2 line size %d", c.L1I.LineBytes, l2LineBytes)
+	}
+	if !c.IPrefetch.Valid() {
+		return fmt.Errorf("frontend: unknown instruction-prefetch kind %q", c.IPrefetch)
+	}
+	if c.QueueEntries <= 0 {
+		return fmt.Errorf("frontend: queue entries must be positive, got %d", c.QueueEntries)
+	}
+	if c.Degree <= 0 || c.Degree > 16 {
+		return fmt.Errorf("frontend: degree must be in [1,16], got %d", c.Degree)
+	}
+	if c.IPrefetch.Canonical() == IPrefetchMANA {
+		if c.ManaRecordsLog2 <= 0 || c.ManaRecordsLog2 > maxTableLog2 {
+			return fmt.Errorf("frontend: mana records log2 budget must be in [1,%d], got %d", maxTableLog2, c.ManaRecordsLog2)
+		}
+		if c.ManaRegionLog2 <= 0 || c.ManaRegionLog2 > maxManaRegionLog2 {
+			return fmt.Errorf("frontend: mana region log2 must be in [1,%d], got %d", maxManaRegionLog2, c.ManaRegionLog2)
+		}
+	}
+	return nil
+}
+
 // Config is the complete machine description.
 type Config struct {
 	CPU            CPUConfig      `json:"cpu"`
@@ -536,6 +664,10 @@ type Config struct {
 	Prefetch       PrefetchConfig `json:"prefetch"`
 	Filter         FilterConfig   `json:"filter"`
 	Buffer         BufferConfig   `json:"buffer"`
+	// Frontend enables the I-side model (L1I + fetch stream +
+	// instruction prefetching); nil keeps the paper's D-side-only
+	// machine and — via omitempty — its canonical JSON encoding.
+	Frontend *FrontendConfig `json:"frontend,omitempty"`
 	// VictimEntries adds a fully-associative victim cache behind the L1
 	// (0 disables — the paper's machine). See internal/victim.
 	VictimEntries int `json:"victim_entries"`
@@ -682,6 +814,24 @@ func (c Config) WithGenerator(kind PrefetchKind) Config {
 	return c
 }
 
+// WithIPrefetch returns a copy of c with the I-side front end enabled
+// and exactly one instruction-prefetch backend selected with its
+// default table budgets. Like WithGenerator, every D-side generator
+// (and software prefetching) is switched off so the pollution filter is
+// judged against the instruction-prefetch stream alone — this is the
+// cell configuration of the (iprefetcher × filter) cross-product.
+func (c Config) WithIPrefetch(kind IPrefetchKind) Config {
+	c = c.WithGenerator("")
+	fe := DefaultFrontend()
+	fe.IPrefetch = kind.Canonical()
+	if fe.IPrefetch == IPrefetchMANA {
+		fe.ManaRecordsLog2 = DefaultManaRecordsLog2
+		fe.ManaRegionLog2 = DefaultManaRegionLog2
+	}
+	c.Frontend = &fe
+	return c
+}
+
 // WithPrefetchBuffer returns a copy of c with the dedicated buffer toggled.
 func (c Config) WithPrefetchBuffer(enable bool) Config {
 	c.Buffer.Enable = enable
@@ -716,6 +866,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Buffer.Validate(); err != nil {
 		return err
+	}
+	if c.Frontend != nil {
+		if err := c.Frontend.Validate(c.L2.LineBytes); err != nil {
+			return err
+		}
 	}
 	if c.VictimEntries < 0 {
 		return fmt.Errorf("victim entries must be non-negative, got %d", c.VictimEntries)

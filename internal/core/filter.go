@@ -44,6 +44,8 @@ const (
 	SrcSoftware                  // compiler-inserted prefetch instruction
 	SrcBerti                     // Berti-style latency-aware local-delta
 	SrcGHB                       // GHB/PC-delta correlation
+	SrcINextLine                 // I-side next-line/fetch-directed baseline
+	SrcIMANA                     // I-side MANA-lite spatial-region prefetcher
 )
 
 // SourceByName maps a prefetcher's registered name to its Source id.
@@ -63,6 +65,10 @@ func SourceByName(name string) Source {
 		return SrcBerti
 	case "ghb":
 		return SrcGHB
+	case "nextline":
+		return SrcINextLine
+	case "mana":
+		return SrcIMANA
 	}
 	return SrcOther
 }

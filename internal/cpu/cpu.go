@@ -70,6 +70,9 @@ type Result struct {
 	// issue because all miss-status registers were in use (only with
 	// cfg.MSHRs > 0).
 	MSHRStallCycles uint64
+	// FetchStallCycles counts cycles the front end stalled on an L1I
+	// fetch miss (only when the I-side front end is modelled).
+	FetchStallCycles uint64
 }
 
 // IPC returns instructions per cycle.
@@ -169,6 +172,7 @@ func (c *CPU) dumpMetrics() {
 	set("rob_stall_cycles", c.res.ROBStallCycles)
 	set("lsq_stall_cycles", c.res.LSQStallCycles)
 	set("mshr_stall_cycles", c.res.MSHRStallCycles)
+	set("fetch_stall_cycles", c.res.FetchStallCycles)
 }
 
 // slot maps a sequence number to its ROB frame.
@@ -267,6 +271,7 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 	ports := c.h.Config().L1.Ports
 	l1lat := uint64(c.h.Config().L1.LatencyCycles)
 	mshrs := c.cfg.MSHRs
+	feEnabled := c.h.FrontendEnabled()
 
 	for !done() {
 		cycle++
@@ -308,6 +313,21 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 				r, ok := nextRecord()
 				if !ok {
 					break
+				}
+				if feEnabled {
+					// The instruction must be fetched before it can
+					// dispatch. An L1I miss stalls the front end until
+					// the block arrives; the record retries then (the
+					// fetch unit is already on its block, so the retry
+					// completes immediately).
+					if fetchDone := c.h.FetchAccess(cycle, r.PC); fetchDone > cycle {
+						pushBack(r)
+						if fetchDone > c.fetchStallUntil {
+							c.fetchStallUntil = fetchDone
+						}
+						c.res.FetchStallCycles += fetchDone - cycle
+						break
+					}
 				}
 				if r.Op.IsMem() && c.lsqCount >= c.cfg.LSQEntries {
 					pushBack(r)
@@ -431,6 +451,14 @@ func (c *CPU) Run(src isa.Source, maxInstr, warmup int64) Result {
 			c.h.IssuePrefetches(cycle, ports-used)
 		} else if c.h.QueuedPrefetches() > 0 {
 			c.res.PrefetchPortWaits++
+		}
+
+		// --- The I-side queue issues strictly last: after the cycle's
+		// demand accesses and D-side prefetches, so instruction
+		// prefetches can never claim the shared L2 port ahead of the
+		// data path (see hier.IssueIPrefetches) ---
+		if feEnabled {
+			c.h.IssueIPrefetches(cycle, 1)
 		}
 	}
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/frontend"
 	"repro/internal/prefetch"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -29,11 +30,15 @@ import (
 
 // BenchEntry is one timed simulation of the bench matrix.
 type BenchEntry struct {
-	// Name is "<benchmark>/<generator>/<filter>", e.g. "mcf/nsp/pa".
+	// Name is "<benchmark>/<generator>/<filter>" (e.g. "mcf/nsp/pa"),
+	// or "<benchmark>/i:<iprefetcher>/<filter>" for an I-side cell.
 	Name      string `json:"name"`
 	Benchmark string `json:"benchmark"`
 	Generator string `json:"generator"`
-	Filter    string `json:"filter"`
+	// IPrefetcher labels an I-side cell (front end enabled, Generator
+	// empty); empty on the D-side matrix.
+	IPrefetcher string `json:"iprefetcher,omitempty"`
+	Filter      string `json:"filter"`
 
 	// WallNS is the simulation's wall time in nanoseconds (machine-
 	// dependent; the regression gate compares like-for-like machines).
@@ -63,6 +68,7 @@ type BenchReport struct {
 	Seed               uint64   `json:"seed"`
 	Benchmarks         []string `json:"benchmarks"`
 	Generators         []string `json:"generators"`
+	IPrefetchers       []string `json:"iprefetchers,omitempty"`
 	Filters            []string `json:"filters"`
 
 	// TotalWallNS is the whole sweep's wall time under the scheduler;
@@ -104,10 +110,12 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	generators := prefetch.Sweepable()
+	iprefetchers := frontend.Sweepable()
 	type unit struct {
 		name   string
 		bench  string
 		gen    config.PrefetchKind
+		ipref  config.IPrefetchKind
 		filter config.FilterKind
 	}
 	var units []unit
@@ -118,6 +126,19 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 					name:   b + "/" + g + "/" + string(f),
 					bench:  b,
 					gen:    config.PrefetchKind(g),
+					filter: f,
+				})
+			}
+		}
+		// The I-side matrix: front end enabled, each instruction
+		// prefetcher alone, so the baseline tracks the wall-clock cost
+		// of the fetch model and each I-side backend under each filter.
+		for _, ip := range iprefetchers {
+			for _, f := range benchFilters {
+				units = append(units, unit{
+					name:   b + "/i:" + ip + "/" + string(f),
+					bench:  b,
+					ipref:  config.IPrefetchKind(ip),
 					filter: f,
 				})
 			}
@@ -135,7 +156,13 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				cfg := config.Default().WithGenerator(u.gen).WithFilter(u.filter)
+				cfg := config.Default()
+				if u.ipref != "" {
+					cfg = cfg.WithIPrefetch(u.ipref)
+				} else {
+					cfg = cfg.WithGenerator(u.gen)
+				}
+				cfg = cfg.WithFilter(u.filter)
 				cfg.Seed = p.Seed
 				start := time.Now()
 				r, err := sim.Run(sim.Options{
@@ -152,6 +179,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 					Name:         u.name,
 					Benchmark:    u.bench,
 					Generator:    string(u.gen),
+					IPrefetcher:  string(u.ipref),
 					Filter:       string(u.filter),
 					WallNS:       wall.Nanoseconds(),
 					Instructions: r.Instructions,
@@ -174,7 +202,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 	}
 
 	report := &BenchReport{
-		Schema:             2, // 2: generator axis added to the matrix
+		Schema:             3, // 2: generator axis; 3: I-side (iprefetcher) cells
 		GoVersion:          runtime.Version(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		Jobs:               jobs,
@@ -183,6 +211,7 @@ func (p *Params) BenchJSON(ctx context.Context, jobs int) (*BenchReport, error) 
 		Seed:               p.Seed,
 		Benchmarks:         p.benchmarks(),
 		Generators:         generators,
+		IPrefetchers:       iprefetchers,
 		TotalWallNS:        total.Nanoseconds(),
 	}
 	for _, f := range benchFilters {

@@ -220,6 +220,8 @@ func orderKey(id string) int {
 		return 110
 	case "traces":
 		return 111
+	case "iprefetch":
+		return 112
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {

@@ -1,0 +1,161 @@
+// The iprefetch experiment: the instruction-prefetcher registry
+// (internal/frontend) crossed with the pollution-filter zoo. Every
+// registered I-side backend runs with the front end enabled — L1I
+// beside the L1D, fetch misses stalling dispatch — against each
+// requested filter plus the unfiltered baseline, so the eviction-time
+// feedback loop is judged on instruction prefetches exactly as the
+// D-side generators experiment judges it on data prefetches.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/frontend"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "iprefetch",
+		Title: "Instruction-prefetcher zoo crossed with the filter zoo (internal/frontend registry)",
+		Run: func(p *Params) (*Table, error) {
+			// The same representative filter slice as the generators
+			// experiment; pfexperiments -iprefetch and the serving layer
+			// expose the complete cross-product.
+			filters := []string{string(config.FilterPA), string(config.FilterPerceptron)}
+			rows, err := p.IFilterComparison(context.Background(), frontend.Sweepable(), filters, 0)
+			if err != nil {
+				return nil, err
+			}
+			return report.IPrefetchComparison("Instruction-prefetcher zoo crossed with filters (front end enabled)", rows), nil
+		},
+	})
+}
+
+// iprefetchConfig maps an (iprefetcher, filter) pair onto the
+// simulation config running the front end with exactly that backend
+// under exactly that filter. The D-side hardware generators stay at
+// the default machine's settings, so the filter sees both streams.
+func iprefetchConfig(kind config.IPrefetchKind, fk string) config.Config {
+	return config.Default().WithIPrefetch(kind).WithFilter(config.FilterKind(fk))
+}
+
+// iprefetchRow derives the I-side head-to-head metrics for one
+// finished run. The Frontend block is present by construction (the
+// config enabled the front end); the nil guard keeps a malformed
+// store-served run from panicking the whole sweep.
+func iprefetchRow(bench, ipref, fk string, r, base stats.Run) report.IPrefetchComparisonRow {
+	row := report.IPrefetchComparisonRow{
+		IPrefetcher: ipref,
+		Benchmark:   bench,
+		Filter:      fk,
+		IPC:         r.IPC(),
+		IPCDelta:    r.IPC() - base.IPC(),
+	}
+	if fe := r.Frontend; fe != nil {
+		row.Good = fe.Prefetches.Good
+		row.Bad = fe.Prefetches.Bad
+		row.Filtered = fe.Prefetches.Filtered
+		row.FetchMissRate = fe.FetchMissRate()
+		row.Pollution = fe.Pollution()
+	}
+	return row
+}
+
+// IFilterComparison runs the (benchmark × iprefetcher × filter)
+// cross-product — plus the unfiltered baseline of each (benchmark,
+// iprefetcher) pair that the IPC deltas need — on the work-stealing
+// scheduler and returns the sorted comparison rows. Iprefs must name
+// registered instruction-prefetcher kinds (aliases resolve); filters
+// must name registered, sweepable filter backends. Empty slices select
+// the full registries. Workers <= 0 selects GOMAXPROCS.
+func (p *Params) IFilterComparison(ctx context.Context, iprefs, filters []string, workers int) ([]report.IPrefetchComparisonRow, error) {
+	if len(iprefs) == 0 {
+		iprefs = frontend.Sweepable()
+	}
+	if len(filters) == 0 {
+		filters = filter.Sweepable()
+	}
+	iprefSweep := make([]config.IPrefetchKind, 0, len(iprefs))
+	seenIP := map[config.IPrefetchKind]bool{}
+	for _, ip := range iprefs {
+		kind := config.IPrefetchKind(ip).Canonical()
+		if !frontend.Registered(kind) {
+			return nil, fmt.Errorf("experiments: unknown instruction-prefetcher kind %q (registered: %v)", ip, frontend.Kinds())
+		}
+		if !seenIP[kind] {
+			seenIP[kind] = true
+			iprefSweep = append(iprefSweep, kind)
+		}
+	}
+	for _, k := range filters {
+		kind := config.FilterKind(k)
+		if kind.Canonical() == config.FilterStatic {
+			return nil, fmt.Errorf("experiments: the static filter needs a profiling run and cannot join the sweep")
+		}
+		if !filter.Registered(kind) {
+			return nil, fmt.Errorf("experiments: unknown filter kind %q (registered: %v)", k, filter.Kinds())
+		}
+	}
+	filterSweep := make([]string, 0, len(filters)+1)
+	seenFil := map[string]bool{}
+	for _, k := range append([]string{string(config.FilterNone)}, filters...) {
+		canon := string(config.FilterKind(k).Canonical())
+		if !seenFil[canon] {
+			seenFil[canon] = true
+			filterSweep = append(filterSweep, canon)
+		}
+	}
+
+	cost := p.costModel()
+	var jobs []sched.Job
+	for _, bench := range p.benchmarks() {
+		bench := bench
+		for _, ipref := range iprefSweep {
+			ipref := ipref
+			for _, fk := range filterSweep {
+				fk := fk
+				jobs = append(jobs, sched.Job{
+					Key:  bench + "|" + string(ipref) + "|" + fk,
+					Cost: cost(bench),
+					Run: func(ctx context.Context) (any, error) {
+						return p.runCtx(ctx, bench, iprefetchConfig(ipref, fk))
+					},
+				})
+			}
+		}
+	}
+	results, ctxErr := sched.Run(ctx, jobs, sched.Options{Workers: workers, Metrics: p.Metrics})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, dedupJoin(errs)
+	}
+
+	var rows []report.IPrefetchComparisonRow
+	for _, bench := range p.benchmarks() {
+		for _, ipref := range iprefSweep {
+			base := results[bench+"|"+string(ipref)+"|"+string(config.FilterNone)].Value.(stats.Run)
+			for _, fk := range filterSweep {
+				r := results[bench+"|"+string(ipref)+"|"+fk].Value.(stats.Run)
+				rows = append(rows, iprefetchRow(bench, string(ipref), fk, r, base))
+			}
+		}
+	}
+	report.SortIPrefetchComparison(rows)
+	return rows, nil
+}

@@ -24,6 +24,10 @@ type MatrixItem struct {
 	// It is presentation metadata only — the simulated machine is fully
 	// described by Config.
 	Generator string
+	// IPrefetcher labels an I-side-axis cell with the instruction-
+	// prefetcher kind the config's front end runs; empty otherwise.
+	// Presentation metadata only, like Generator.
+	IPrefetcher string
 }
 
 // StandardMatrix returns the full evaluation matrix the paper-figure

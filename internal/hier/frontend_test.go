@@ -1,0 +1,172 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/frontend"
+	"repro/internal/xrand"
+)
+
+// frontendConfig returns the small test machine with the front end
+// enabled and the given instruction prefetcher.
+func frontendConfig(kind config.IPrefetchKind) config.Config {
+	cfg := testConfig()
+	fe := config.DefaultFrontend()
+	fe.IPrefetch = kind
+	cfg.Frontend = &fe
+	return cfg
+}
+
+// queueIPrefetch pushes one instruction-prefetch candidate straight
+// into the I-queue via the submit path (filter is Null, so it passes).
+func queueIPrefetch(t *testing.T, h *Hierarchy, block uint64) {
+	t.Helper()
+	before := h.IQueue.Len()
+	h.submitI(h.now, frontend.Candidate{Block: block, TriggerPC: 0x40_0000, Source: "nextline"})
+	if h.IQueue.Len() != before+1 {
+		t.Fatalf("candidate %#x did not enqueue", block)
+	}
+}
+
+// TestIPrefetchYieldsToDemand pins the shared-L2 arbitration order
+// within a cycle: demand-class accesses (D-side misses and fetch
+// misses) run first and claim the single L2 port; IssueIPrefetches —
+// called last — must yield when the port is busy and only take an
+// otherwise-idle slot. I-side fills therefore cannot starve demand.
+func TestIPrefetchYieldsToDemand(t *testing.T) {
+	h := newHier(t, frontendConfig(config.IPrefetchNone), nil)
+	queueIPrefetch(t, h, 0x8000)
+
+	// Cycle 100: a D-side demand miss claims the L2 port first...
+	h.DemandAccess(100, 0x40_0000, 0x1000, false)
+	// ...so the I-prefetch issue pass, which runs after it, yields.
+	if used := h.IssueIPrefetches(100, 4); used != 0 {
+		t.Fatalf("I-prefetch issued against a demand-busy L2 port (used=%d)", used)
+	}
+	if h.IQueue.Len() != 1 {
+		t.Fatal("yielding must keep the candidate queued, not drop it")
+	}
+
+	// Once the port drains the prefetch goes out on the idle slot.
+	idle := h.l2busyUntil + 10
+	if used := h.IssueIPrefetches(idle, 4); used != 1 {
+		t.Fatalf("idle-port issue used=%d, want 1", used)
+	}
+	if h.IPf.Issued != 1 {
+		t.Fatalf("IPf.Issued = %d", h.IPf.Issued)
+	}
+}
+
+// TestFetchMissClaimsPortBeforeIPrefetch pins the same order for the
+// I-side's own demand class: a fetch miss is a demand access on the
+// shared L2 and beats any queued instruction prefetch in its cycle.
+func TestFetchMissClaimsPortBeforeIPrefetch(t *testing.T) {
+	h := newHier(t, frontendConfig(config.IPrefetchNone), nil)
+	queueIPrefetch(t, h, 0x8000)
+
+	done := h.FetchAccess(100, 0x40_0000) // cold fetch miss → L2 → memory
+	if done <= 100 {
+		t.Fatalf("cold fetch miss completed instantly (done=%d)", done)
+	}
+	if h.FetchMisses != 1 || h.L1I.Stats.DemandMisses != 1 {
+		t.Fatalf("fetch miss accounting: misses=%d l1i=%+v", h.FetchMisses, h.L1I.Stats)
+	}
+	if used := h.IssueIPrefetches(100, 4); used != 0 {
+		t.Fatal("I-prefetch issued against a fetch-miss-busy L2 port")
+	}
+}
+
+// TestIPrefetchNoBackToBackSlots pins the other half of the
+// non-starvation guarantee: even with ports to spare, consecutive
+// instruction prefetches never queue back-to-back L2 slots — the first
+// issue makes the port busy, so the second yields to the data path.
+func TestIPrefetchNoBackToBackSlots(t *testing.T) {
+	h := newHier(t, frontendConfig(config.IPrefetchNone), nil)
+	queueIPrefetch(t, h, 0x8000)
+	queueIPrefetch(t, h, 0x8020)
+
+	if used := h.IssueIPrefetches(100, 4); used != 1 {
+		t.Fatalf("issued %d I-prefetches in one cycle, want exactly 1", used)
+	}
+	if h.IQueue.Len() != 1 {
+		t.Fatalf("second candidate must stay queued, len=%d", h.IQueue.Len())
+	}
+	// A demand miss arriving right after waits at most one L2 occupancy
+	// slot behind the single issued prefetch — never a convoy.
+	start := uint64(100)
+	busyBefore := h.l2busyUntil
+	if busyBefore > start+l2Occupancy+uint64(h.cfg.Frontend.L1I.LatencyCycles) {
+		t.Fatalf("one I-prefetch occupied the port for %d cycles", busyBefore-start)
+	}
+}
+
+// TestFetchMSHRMergeWithIPrefetch pins the merge path: a fetch miss on
+// a block with an instruction prefetch already in flight waits for that
+// fill (not a fresh L2 walk) and installs it as a referenced prefetch,
+// and the heap entry is consumed without double-classification.
+func TestFetchMSHRMergeWithIPrefetch(t *testing.T) {
+	h := newHier(t, frontendConfig(config.IPrefetchNone), nil)
+	queueIPrefetch(t, h, 0x8000)
+	if used := h.IssueIPrefetches(0, 1); used != 1 {
+		t.Fatal("setup: prefetch did not issue")
+	}
+	fillDone := h.inflightISet[0x8000].done
+
+	done := h.FetchAccess(5, 0x8004) // same block, mid-flight
+	if done != fillDone {
+		t.Fatalf("merged fetch done=%d, want the in-flight fill's %d", done, fillDone)
+	}
+	if h.MergedI != 1 {
+		t.Fatalf("MergedI = %d", h.MergedI)
+	}
+	line, ok := h.L1I.Peek(0x8000)
+	if !ok || !line.PIB || !line.RIB || line.TriggerPC != 0x40_0000 {
+		t.Fatalf("merged line metadata: %+v (ok=%v)", line, ok)
+	}
+	// Draining the heap consumes the merge marker: no late-prefetch
+	// misclassification, and the in-flight set is empty.
+	h.Tick(^uint64(0) - 1)
+	if h.IPf.Bad != 0 || h.LatePrefetches != 0 {
+		t.Fatalf("merged fill misclassified: %+v late=%d", h.IPf, h.LatePrefetches)
+	}
+	if len(h.inflightISet) != 0 || len(h.mergedI) != 0 {
+		t.Fatalf("I-side inflight state leaked: set=%d merged=%d", len(h.inflightISet), len(h.mergedI))
+	}
+}
+
+// TestIConservationGoodPlusBadEqualsIssued is the I-side twin of the
+// D-side conservation test: over a jumpy fetch stream with the
+// next-line backend on, every issued instruction prefetch is
+// classified exactly once.
+func TestIConservationGoodPlusBadEqualsIssued(t *testing.T) {
+	h := newHier(t, frontendConfig(config.IPrefetchNextLine), nil)
+	rng := xrand.New(7)
+	cycle := uint64(0)
+	pc := uint64(0x40_0000)
+	for i := 0; i < 20000; i++ {
+		cycle += 2
+		h.Tick(cycle)
+		if done := h.FetchAccess(cycle, pc); done > cycle {
+			cycle = done // front end stalls on the miss
+		}
+		if rng.Bool(0.1) { // taken branch: jump among a few hot regions
+			pc = 0x40_0000 + rng.Uint64n(64)*1024
+		} else {
+			pc += 4
+		}
+		h.IssueIPrefetches(cycle, 1)
+	}
+	h.Finish()
+	if got := h.IPf.Good + h.IPf.Bad; got != h.IPf.Issued {
+		t.Fatalf("classified %d != issued %d (good=%d bad=%d late=%d mergedI=%d)",
+			got, h.IPf.Issued, h.IPf.Good, h.IPf.Bad, h.LatePrefetches, h.MergedI)
+	}
+	if h.IPf.Issued == 0 || h.FetchMisses == 0 {
+		t.Fatalf("stream too tame to test anything: %+v misses=%d", h.IPf, h.FetchMisses)
+	}
+	// D-side accounting must be untouched by I-side traffic.
+	if h.Pf.Issued != 0 || h.L1.Stats.DemandAccesses != 0 {
+		t.Fatalf("I-side run leaked into D-side stats: %+v l1=%+v", h.Pf, h.L1.Stats)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/deadblock"
+	"repro/internal/frontend"
 	"repro/internal/memdram"
 	"repro/internal/metrics"
 	"repro/internal/pbuffer"
@@ -39,12 +40,14 @@ import (
 	"repro/internal/xrand"
 )
 
-// inflight is a prefetch fill in transit from L2/memory toward the L1.
+// inflight is a prefetch fill in transit from L2/memory toward the L1
+// (or, when iside is set, toward the L1I).
 type inflight struct {
 	done      uint64 // cycle the fill arrives at the L1
 	lineAddr  uint64
 	triggerPC uint64
 	software  bool
+	iside     bool // instruction-prefetch fill headed for the L1I
 	source    string
 }
 
@@ -121,6 +124,15 @@ type Hierarchy struct {
 	HW     prefetch.Prefetcher // composite hardware prefetchers (may be empty)
 	Queue  *prefetch.Queue
 
+	// I-side front end (all nil unless cfg.Frontend is set). The L1I
+	// sits beside the L1D and shares the single-ported L2; IHW is the
+	// instruction-prefetch backend from the internal/frontend registry,
+	// and IQueue holds its accepted candidates.
+	L1I    *cache.Cache
+	IHW    frontend.Prefetcher
+	IQueue *prefetch.Queue
+	fetch  frontend.FetchUnit
+
 	// l2busyUntil serializes the single-ported L2 (pipelined occupancy).
 	l2busyUntil uint64
 
@@ -131,6 +143,14 @@ type Hierarchy struct {
 	// entry. A count (not a set): the same line can merge repeatedly if it
 	// is evicted and re-prefetched while older fills are still queued.
 	merged map[uint64]int
+
+	// inflightISet/mergedI are the I-side twins of inflightSet/merged;
+	// instruction and data streams track their outstanding fills in
+	// separate sets so an I-block never collides with a D-line at the
+	// same address. The fills themselves share the one inflight heap,
+	// tagged by inflight.iside.
+	inflightISet map[uint64]inflight
+	mergedI      map[uint64]int
 
 	// Classification and traffic counters (read via Snapshot).
 	Pf      stats.Prefetches
@@ -144,6 +164,16 @@ type Hierarchy struct {
 	// Merged counts demand misses that merged with an in-flight prefetch
 	// (MSHR behaviour); the prefetch classifies good.
 	Merged uint64
+
+	// I-side counters: IPf classifies instruction prefetches at L1I
+	// eviction time exactly as Pf does for the D-side; FetchBlocks and
+	// FetchMisses count the fetch-block stream presented to the L1I;
+	// MergedI counts fetch misses that merged with an in-flight
+	// instruction prefetch.
+	IPf         stats.Prefetches
+	FetchBlocks uint64
+	FetchMisses uint64
+	MergedI     uint64
 
 	// Tax, when non-nil, records the full Srinivasan prefetch taxonomy
 	// (reference [17]) alongside the paper's 2-way classification. Pure
@@ -172,6 +202,8 @@ type Hierarchy struct {
 	// prefetchers; it reads the cycle from h.now. Allocating a fresh
 	// closure per demand access was ~30% of all simulation allocations.
 	emitFn func(prefetch.Candidate)
+	// iEmitFn is its I-side twin, handed to the instruction prefetcher.
+	iEmitFn func(frontend.Candidate)
 }
 
 // hierMetrics are the hierarchy's live counters. Each handle is nil
@@ -304,6 +336,29 @@ func New(cfg config.Config, filter core.Filter, rng *xrand.Rand) (*Hierarchy, er
 	}
 	h.HW = prefetch.NewComposite(parts...)
 	h.emitFn = func(c prefetch.Candidate) { h.submit(h.now, c) }
+	if cfg.Frontend != nil {
+		l1i, err := cache.New(cfg.Frontend.L1I, rng.Fork())
+		if err != nil {
+			return nil, fmt.Errorf("hier: l1i: %w", err)
+		}
+		h.L1I = l1i
+		iq, err := prefetch.NewQueue(cfg.Frontend.QueueEntries)
+		if err != nil {
+			return nil, err
+		}
+		h.IQueue = iq
+		if kind := cfg.Frontend.IPrefetch.Canonical(); kind != config.IPrefetchNone {
+			ip, err := frontend.New(kind, *cfg.Frontend)
+			if err != nil {
+				return nil, err
+			}
+			h.IHW = ip
+		}
+		h.fetch = frontend.NewFetchUnit(cfg.Frontend.L1I.LineBytes)
+		h.inflightISet = make(map[uint64]inflight)
+		h.mergedI = make(map[uint64]int)
+		h.iEmitFn = func(c frontend.Candidate) { h.submitI(h.now, c) }
+	}
 	return h, nil
 }
 
@@ -569,6 +624,238 @@ func (h *Hierarchy) DemandAccess(now uint64, pc, addr uint64, isStore bool) (don
 	return ready
 }
 
+// FrontendEnabled reports whether the I-side front end is modelled.
+func (h *Hierarchy) FrontendEnabled() bool { return h.L1I != nil }
+
+// classifyEvictedI handles a line leaving the L1I: if it was an
+// instruction prefetch, classify it and train the shared pollution
+// filter — the I-side twin of classifyEvicted, carrying the backend's
+// source provenance into the feedback.
+func (h *Hierarchy) classifyEvictedI(line cache.Line) {
+	if !line.PIB {
+		return
+	}
+	if line.RIB {
+		h.IPf.Good++
+	} else {
+		h.IPf.Bad++
+	}
+	if h.Trace != nil {
+		h.Trace.Emit(trace.Event{Cycle: h.now, Kind: trace.KindPrefetchEvict,
+			LineAddr: line.Tag, PC: line.TriggerPC, Good: line.RIB})
+	}
+	h.Filter.Train(core.Feedback{
+		LineAddr:   line.Tag,
+		TriggerPC:  line.TriggerPC,
+		Referenced: line.RIB,
+		Source:     core.Source(line.PFSource),
+	})
+}
+
+// fillL1I installs an instruction block into the L1I and classifies the
+// eviction. I-lines are never dirty, so there is no writeback path.
+func (h *Hierarchy) fillL1I(block uint64, prefetchReq bool) *cache.Line {
+	installed, evicted, hadEvict := h.L1I.Insert(block)
+	if hadEvict {
+		h.classifyEvictedI(evicted)
+	}
+	if prefetchReq {
+		h.L1I.Stats.PrefetchFills++
+	} else {
+		h.L1I.Stats.DemandFills++
+	}
+	return installed
+}
+
+// FetchAccess runs one instruction fetch through the front end at cycle
+// now and returns the cycle the block is available. Same-block fetches
+// are absorbed by the fetch unit and complete immediately; only block
+// transitions touch the L1I. On a miss the front end stalls: the caller
+// must not dispatch past the returned cycle.
+func (h *Hierarchy) FetchAccess(now uint64, pc uint64) (done uint64) {
+	block, newBlock, redirect := h.fetch.Step(pc)
+	if !newBlock {
+		return now
+	}
+	h.now = now
+	h.FetchBlocks++
+	h.L1I.Stats.DemandAccesses++
+	ev := frontend.Event{Block: block, PC: pc, Redirect: redirect}
+
+	if line, hit := h.L1I.Lookup(block); hit {
+		h.L1I.Stats.DemandHits++
+		if line.PIB && !line.RIB {
+			line.RIB = true
+		}
+		h.observeI(now, ev)
+		return now
+	}
+	h.L1I.Stats.DemandMisses++
+	h.FetchMisses++
+	ev.Miss = true
+
+	// MSHR merge: a fetch miss on a block with an instruction prefetch
+	// already in flight waits for that fill; the prefetch covered part
+	// of the miss latency and is installed as a referenced prefetch.
+	if f, busy := h.inflightISet[block]; busy {
+		delete(h.inflightISet, block)
+		h.mergedI[block]++ // tickI will skip one matching heap entry
+		h.MergedI++
+		line := h.fillL1I(block, true)
+		line.PIB = true
+		line.RIB = true
+		line.TriggerPC = f.triggerPC
+		line.PFSource = uint8(core.SourceByName(f.source))
+		done = f.done
+		if min := now + uint64(h.cfg.Frontend.L1I.LatencyCycles); done < min {
+			done = min
+		}
+		h.observeI(now, ev)
+		return done
+	}
+
+	// The fetch miss walks the shared L2 as a demand access — it is on
+	// the critical path of the front end.
+	ready, _ := h.l2Access(now+uint64(h.cfg.Frontend.L1I.LatencyCycles), block, false)
+	h.fillL1I(block, false)
+	h.observeI(now, ev)
+	return ready
+}
+
+// observeI feeds a fetch-block event to the instruction prefetcher. The
+// candidate sink is the pre-built h.iEmitFn, stamping candidates with
+// h.now.
+func (h *Hierarchy) observeI(now uint64, ev frontend.Event) {
+	if h.IHW == nil {
+		return
+	}
+	h.now = now
+	h.IHW.Observe(ev, h.iEmitFn)
+}
+
+// submitI runs one instruction-prefetch candidate through duplicate
+// squashing and the shared pollution filter, then enqueues it.
+func (h *Hierarchy) submitI(now uint64, c frontend.Candidate) {
+	if h.L1I.Contains(c.Block) {
+		h.IPf.Squashed++
+		return
+	}
+	if _, busy := h.inflightISet[c.Block]; busy {
+		h.IPf.Squashed++
+		return
+	}
+	if h.IQueue.Contains(c.Block) {
+		h.IPf.Squashed++
+		return
+	}
+	if !h.Filter.Allow(core.Request{LineAddr: c.Block, TriggerPC: c.TriggerPC, Source: core.SourceByName(c.Source)}) {
+		h.IPf.Filtered++
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchFilter,
+				LineAddr: c.Block, PC: c.TriggerPC, Source: c.Source})
+		}
+		return
+	}
+	if !h.IQueue.Enqueue(prefetch.Candidate{LineAddr: c.Block, TriggerPC: c.TriggerPC, Source: c.Source}, now) {
+		h.IPf.Overflow++
+	}
+}
+
+// IssueIPrefetches lets up to max queued instruction prefetches start
+// their fills at cycle now. It must be called after the cycle's demand
+// accesses and D-side prefetch issue, and it only takes the shared L2
+// port when the port is otherwise idle: an instruction prefetch never
+// claims a slot ahead of — or queues back-to-back against — the data
+// path, so I-side fills cannot starve D-side demand misses. The
+// contention tests pin this arbitration order.
+func (h *Hierarchy) IssueIPrefetches(now uint64, max int) (used int) {
+	if h.IQueue == nil {
+		return 0
+	}
+	h.now = now
+	lat := uint64(h.cfg.Frontend.L1I.LatencyCycles)
+	for used < max {
+		if h.l2busyUntil > now+lat {
+			return used // the L2 port is claimed; yield to the data path
+		}
+		qc, ok := h.IQueue.Front()
+		if !ok {
+			return used
+		}
+		// Re-check residency: state may have changed while queued.
+		if h.L1I.Contains(qc.LineAddr) {
+			h.IQueue.Dequeue()
+			h.IPf.Squashed++
+			continue
+		}
+		if _, busy := h.inflightISet[qc.LineAddr]; busy {
+			h.IQueue.Dequeue()
+			h.IPf.Squashed++
+			continue
+		}
+		h.IQueue.Dequeue()
+		used++
+		ready, _ := h.l2Access(now+lat, qc.LineAddr, true)
+		h.IPf.Issued++
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindPrefetchIssue,
+				LineAddr: qc.LineAddr, PC: qc.TriggerPC, Source: qc.Source})
+		}
+		h.BySource[qc.Source]++
+		f := inflight{
+			done:      ready,
+			lineAddr:  qc.LineAddr,
+			triggerPC: qc.TriggerPC,
+			iside:     true,
+			source:    qc.Source,
+		}
+		h.inflight.push(f)
+		h.inflightISet[qc.LineAddr] = f
+	}
+	return used
+}
+
+// tickI completes one instruction-prefetch fill popped off the shared
+// heap: consume a merge marker, drop late fills as bad, or install the
+// block into the L1I with its provenance metadata.
+func (h *Hierarchy) tickI(f inflight) {
+	if n := h.mergedI[f.lineAddr]; n > 0 {
+		// A fetch miss already claimed this fill (see Tick for the
+		// live-entry guard rationale).
+		if cur, live := h.inflightISet[f.lineAddr]; !live || cur != f {
+			if n == 1 {
+				delete(h.mergedI, f.lineAddr)
+			} else {
+				h.mergedI[f.lineAddr] = n - 1
+			}
+			return
+		}
+	}
+	delete(h.inflightISet, f.lineAddr)
+	h.now = f.done
+	if h.L1I.Contains(f.lineAddr) {
+		// Late: the fetch stream already brought the block in.
+		h.LatePrefetches++
+		h.IPf.Bad++
+		if h.Trace != nil {
+			h.Trace.Emit(trace.Event{Cycle: f.done, Kind: trace.KindPrefetchLate,
+				LineAddr: f.lineAddr, PC: f.triggerPC, Source: f.source})
+		}
+		h.Filter.Train(core.Feedback{
+			LineAddr:   f.lineAddr,
+			TriggerPC:  f.triggerPC,
+			Referenced: false,
+			Source:     core.SourceByName(f.source),
+		})
+		return
+	}
+	line := h.fillL1I(f.lineAddr, true)
+	line.PIB = true
+	line.RIB = false
+	line.TriggerPC = f.triggerPC
+	line.PFSource = uint8(core.SourceByName(f.source))
+}
+
 // SoftwarePrefetch routes a software prefetch instruction (identified in
 // the LSQ) through the pollution filter into the prefetch queue. It does
 // not consume an L1 port; the eventual fill does, via IssuePrefetches.
@@ -704,6 +991,10 @@ func (h *Hierarchy) IssuePrefetches(now uint64, ports int) (used int) {
 func (h *Hierarchy) Tick(now uint64) {
 	for len(h.inflight) > 0 && h.inflight[0].done <= now {
 		f := h.inflight.pop()
+		if f.iside {
+			h.tickI(f)
+			continue
+		}
 		if n := h.merged[f.lineAddr]; n > 0 {
 			// A demand miss already claimed this fill; the line was
 			// installed (as a referenced prefetch) at merge time. Guard
@@ -791,6 +1082,14 @@ func (h *Hierarchy) ResetStats() {
 	h.LatePrefetches = 0
 	h.Merged = 0
 	h.DeadGated = 0
+	h.IPf = stats.Prefetches{}
+	h.FetchBlocks, h.FetchMisses, h.MergedI = 0, 0, 0
+	if h.L1I != nil {
+		h.L1I.Stats = cache.Stats{}
+	}
+	if h.IQueue != nil {
+		h.IQueue.Enqueued, h.IQueue.Squashed, h.IQueue.Overflows, h.IQueue.Dequeued = 0, 0, 0, 0
+	}
 	h.m.reset()
 	if h.Dead != nil {
 		h.Dead.ResetStats()
@@ -854,6 +1153,25 @@ func (h *Hierarchy) Finish() {
 				h.m.pfBad.Inc()
 			}
 		}
+	}
+	if h.IQueue != nil {
+		for range h.IQueue.Drain() {
+			h.IPf.Overflow++
+		}
+	}
+	if h.L1I != nil {
+		h.L1I.ForEach(func(line *cache.Line) {
+			if !line.PIB {
+				return
+			}
+			if line.RIB {
+				h.IPf.Good++
+				h.IPf.ResidentGood++
+			} else {
+				h.IPf.Bad++
+				h.IPf.ResidentBad++
+			}
+		})
 	}
 	if h.Tax != nil {
 		h.Tax.Finish()

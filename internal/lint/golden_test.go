@@ -241,7 +241,8 @@ func TestHotpathAnnotationsPinned(t *testing.T) {
 	root := moduleRoot(t)
 	pkgs, err := Load(root,
 		"./internal/cpu", "./internal/hier", "./internal/cache",
-		"./internal/prefetch", "./internal/filter", "./internal/core")
+		"./internal/prefetch", "./internal/filter", "./internal/core",
+		"./internal/frontend")
 	if err != nil {
 		t.Fatalf("Load hot-path packages: %v", err)
 	}
@@ -264,6 +265,8 @@ func TestHotpathAnnotationsPinned(t *testing.T) {
 		"filter.(*Perceptron).Predict", "filter.(*Perceptron).Train",
 		"filter.(*Bloom).Predict", "filter.(*Bloom).Train",
 		"core.(*TableFilter).Predict", "core.(*TableFilter).Allow", "core.(*TableFilter).Train",
+		"frontend.(*FetchUnit).Step", "frontend.(*NextLine).Observe",
+		"frontend.(*MANA).index", "frontend.(*MANA).Observe", "frontend.(*MANA).commit",
 	}
 	for _, fn := range required {
 		if !annotated[fn] {

@@ -121,6 +121,7 @@ var coreNames = map[string]bool{
 	"sim": true, "cpu": true, "cache": true, "hier": true, "filter": true,
 	"prefetch": true, "predictor": true, "pbuffer": true, "bus": true,
 	"memdram": true, "deadblock": true, "victim": true, "core": true,
+	"frontend": true,
 }
 
 // Package is one loaded, type-checked package ready for analysis.

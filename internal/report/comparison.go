@@ -76,3 +76,48 @@ func FilterComparison(title string, rows []FilterComparisonRow) *Table {
 	t.AddNote("accuracy = good/(good+bad); coverage = good/(good + L1 demand misses); dIPC vs the unfiltered (none) run")
 	return t
 }
+
+// IPrefetchComparisonRow is one (benchmark, instruction prefetcher,
+// filter) cell of the I-side cross-product sweep: the instruction-
+// prefetch classification counts, the front-end quality metrics
+// (fetch-miss rate and I-pollution), and the IPC delta against the
+// filterless run of the same (benchmark, iprefetcher) pair.
+type IPrefetchComparisonRow struct {
+	IPrefetcher   string  `json:"iprefetcher"`
+	Benchmark     string  `json:"benchmark"`
+	Filter        string  `json:"filter"`
+	Good          uint64  `json:"good"`
+	Bad           uint64  `json:"bad"`
+	Filtered      uint64  `json:"filtered"`
+	FetchMissRate float64 `json:"fetch_miss_rate"` // fetch misses / fetch blocks
+	Pollution     float64 `json:"pollution"`       // bad / (good + bad)
+	IPC           float64 `json:"ipc"`
+	IPCDelta      float64 `json:"ipc_delta"` // vs the "none"-filter run of the pair
+}
+
+// SortIPrefetchComparison orders rows benchmark-major, then
+// iprefetcher, then filter — the stable order every renderer presents.
+func SortIPrefetchComparison(rows []IPrefetchComparisonRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Benchmark != rows[j].Benchmark {
+			return rows[i].Benchmark < rows[j].Benchmark
+		}
+		if rows[i].IPrefetcher != rows[j].IPrefetcher {
+			return rows[i].IPrefetcher < rows[j].IPrefetcher
+		}
+		return rows[i].Filter < rows[j].Filter
+	})
+}
+
+// IPrefetchComparison renders the (iprefetcher × filter) cross-product
+// table.
+func IPrefetchComparison(title string, rows []IPrefetchComparisonRow) *Table {
+	t := New(title, "benchmark", "iprefetcher", "filter", "good", "bad", "filtered",
+		"fetch-miss", "I-pollution", "IPC", "dIPC")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.IPrefetcher, r.Filter, I(r.Good), I(r.Bad), I(r.Filtered),
+			Pct(r.FetchMissRate), Pct(r.Pollution), F(r.IPC), F(r.IPCDelta))
+	}
+	t.AddNote("fetch-miss = L1I fetch misses / fetch blocks; I-pollution = bad/(good+bad) instruction prefetches; dIPC vs the unfiltered (none) run of the same (benchmark, iprefetcher)")
+	return t
+}

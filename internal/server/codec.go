@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/filter"
+	"repro/internal/frontend"
 	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -65,6 +66,15 @@ type SweepRequest struct {
 	// every registered generator. Empty keeps the config's default
 	// generator mix and the plain filters comparison.
 	Generators []string `json:"generators,omitempty"`
+	// IPrefetch adds the I-side sweep axis: each named instruction
+	// prefetcher (internal/frontend registry; aliases resolve) runs
+	// with the front end enabled against every (benchmark, filter)
+	// cell, and the response carries the per-(benchmark, iprefetcher,
+	// filter) comparison. ["all"] expands to every registered backend.
+	// Mutually exclusive with Generators: enabling the front end
+	// replaces the D-side generator mix, so crossing the two axes in
+	// one sweep would mislabel the cells.
+	IPrefetch []string `json:"iprefetch,omitempty"`
 	// Traces extends the benchmark axis with registered trace-corpus
 	// benchmarks (internal/tracefile; loaded at startup via pfserved
 	// -trace-manifest). Names resolve with or without the "trace:"
@@ -94,7 +104,10 @@ type RunResult struct {
 	// Generator is the prefetch generator of a generator-axis cell;
 	// empty on plain sweeps.
 	Generator string `json:"generator,omitempty"`
-	Filter    string `json:"filter"`
+	// IPrefetcher is the instruction prefetcher of an I-side-axis cell;
+	// empty on plain sweeps.
+	IPrefetcher string `json:"iprefetcher,omitempty"`
+	Filter      string `json:"filter"`
 
 	IPC        float64 `json:"ipc"`
 	L1MissRate float64 `json:"l1_miss_rate"`
@@ -151,6 +164,10 @@ type SweepResponse struct {
 	// row per (benchmark, generator, filter) cell, IPC deltas against
 	// the same (benchmark, generator) pair's unfiltered cell.
 	GeneratorComparison []report.GeneratorComparisonRow `json:"generator_comparison,omitempty"`
+	// IPrefetchComparison replaces Comparison on I-side sweeps: one row
+	// per (benchmark, iprefetcher, filter) cell, IPC deltas against the
+	// same (benchmark, iprefetcher) pair's unfiltered cell.
+	IPrefetchComparison []report.IPrefetchComparisonRow `json:"iprefetch_comparison,omitempty"`
 }
 
 // StreamLine is one line of an NDJSON streaming sweep response
@@ -324,26 +341,68 @@ func expandSweep(req SweepRequest, p *experiments.Params) ([]experiments.MatrixI
 	if err != nil {
 		return nil, err
 	}
-	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters)*max(1, len(gens)))
+	iprefs, err := expandIPrefetch(req.IPrefetch)
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 && len(iprefs) > 0 {
+		return nil, fmt.Errorf("the generators and iprefetch axes cannot be combined in one sweep (the front end replaces the D-side generator mix)")
+	}
+	items := make([]experiments.MatrixItem, 0, len(benches)*len(filters)*max(1, len(gens)+len(iprefs)))
 	for _, f := range filters {
 		cfg, err := buildConfig(f, req.CacheKB, 0, 0, false)
 		if err != nil {
 			return nil, err
 		}
-		if len(gens) == 0 {
+		switch {
+		case len(gens) > 0:
+			for _, g := range gens {
+				gcfg := cfg.WithGenerator(g)
+				for _, b := range benches {
+					items = append(items, experiments.MatrixItem{Bench: b, Config: gcfg, Generator: string(g)})
+				}
+			}
+		case len(iprefs) > 0:
+			for _, ip := range iprefs {
+				icfg := cfg.WithIPrefetch(ip)
+				for _, b := range benches {
+					items = append(items, experiments.MatrixItem{Bench: b, Config: icfg, IPrefetcher: string(ip)})
+				}
+			}
+		default:
 			for _, b := range benches {
 				items = append(items, experiments.MatrixItem{Bench: b, Config: cfg})
-			}
-			continue
-		}
-		for _, g := range gens {
-			gcfg := cfg.WithGenerator(g)
-			for _, b := range benches {
-				items = append(items, experiments.MatrixItem{Bench: b, Config: gcfg, Generator: string(g)})
 			}
 		}
 	}
 	return items, nil
+}
+
+// expandIPrefetch resolves the iprefetch dimension: ["all"] becomes
+// every registered instruction-prefetcher kind, names resolve through
+// their aliases, and an unknown kind is a request error (HTTP 400).
+func expandIPrefetch(names []string) ([]config.IPrefetchKind, error) {
+	if len(names) == 1 && names[0] == "all" {
+		reg := frontend.Sweepable()
+		out := make([]config.IPrefetchKind, len(reg))
+		for i, ip := range reg {
+			out[i] = config.IPrefetchKind(ip)
+		}
+		return out, nil
+	}
+	out := make([]config.IPrefetchKind, 0, len(names))
+	seen := map[config.IPrefetchKind]bool{}
+	for _, ip := range names {
+		kind := config.IPrefetchKind(ip).Canonical()
+		if !frontend.Registered(kind) {
+			return nil, fmt.Errorf("unknown instruction prefetcher %q (registered backends: %v)", ip, frontend.Kinds())
+		}
+		if !seen[kind] {
+			seen[kind] = true
+			out = append(out, kind)
+		}
+	}
+	return out, nil
 }
 
 // expandGenerators resolves the generators dimension: ["all"] becomes
@@ -455,6 +514,48 @@ func buildGeneratorComparison(results []RunResult) []report.GeneratorComparisonR
 	return rows
 }
 
+// buildIPrefetchComparison derives the I-side cross-product rows from
+// an iprefetch sweep's successful cells. IPC deltas are against the
+// same (benchmark, iprefetcher) pair's "none" cell; pairs without one
+// report zero deltas. The Frontend block is nil-guarded: a cell served
+// from a store written before the front end existed degrades to zero
+// I-side counts rather than failing the sweep.
+func buildIPrefetchComparison(results []RunResult) []report.IPrefetchComparisonRow {
+	baseIPC := make(map[string]float64)
+	for _, r := range results {
+		if r.Run != nil && config.FilterKind(r.Filter).Canonical() == config.FilterNone {
+			baseIPC[r.Benchmark+"|"+r.IPrefetcher] = r.IPC
+		}
+	}
+	var rows []report.IPrefetchComparisonRow
+	for _, r := range results {
+		if r.Run == nil {
+			continue
+		}
+		delta := 0.0
+		if base, ok := baseIPC[r.Benchmark+"|"+r.IPrefetcher]; ok {
+			delta = r.IPC - base
+		}
+		row := report.IPrefetchComparisonRow{
+			IPrefetcher: r.IPrefetcher,
+			Benchmark:   r.Benchmark,
+			Filter:      r.Filter,
+			IPC:         r.IPC,
+			IPCDelta:    delta,
+		}
+		if fe := r.Run.Frontend; fe != nil {
+			row.Good = fe.Prefetches.Good
+			row.Bad = fe.Prefetches.Bad
+			row.Filtered = fe.Prefetches.Filtered
+			row.FetchMissRate = fe.FetchMissRate()
+			row.Pollution = fe.Pollution()
+		}
+		rows = append(rows, row)
+	}
+	report.SortIPrefetchComparison(rows)
+	return rows
+}
+
 // resultForCell assembles one RunResult from a cell and its outcome,
 // stamping the content address and fabric provenance.
 func resultForCell(c sweepCell, o cellOutcome) RunResult {
@@ -474,12 +575,16 @@ func resultFor(item experiments.MatrixItem, r *stats.Run, wallNS int64, err erro
 	if item.Generator != "" {
 		name = item.Bench + "/" + item.Generator + "/" + string(item.Config.Filter.Kind)
 	}
+	if item.IPrefetcher != "" {
+		name = item.Bench + "/i:" + item.IPrefetcher + "/" + string(item.Config.Filter.Kind)
+	}
 	out := RunResult{
-		Name:      name,
-		Benchmark: item.Bench,
-		Generator: item.Generator,
-		Filter:    string(item.Config.Filter.Kind),
-		WallNS:    wallNS,
+		Name:        name,
+		Benchmark:   item.Bench,
+		Generator:   item.Generator,
+		IPrefetcher: item.IPrefetcher,
+		Filter:      string(item.Config.Filter.Kind),
+		WallNS:      wallNS,
 	}
 	if err != nil {
 		out.Error = err.Error()

@@ -300,6 +300,8 @@ func buildSweepResponse(req SweepRequest, p *experiments.Params, cells []sweepCe
 	resp.Fingerprint = fabric.Fingerprint(runs)
 	if len(req.Generators) > 0 {
 		resp.GeneratorComparison = buildGeneratorComparison(results)
+	} else if len(req.IPrefetch) > 0 {
+		resp.IPrefetchComparison = buildIPrefetchComparison(results)
 	} else {
 		resp.Comparison = buildComparison(results)
 	}

@@ -554,3 +554,102 @@ func TestSweepGeneratorAliasCanonicalized(t *testing.T) {
 		t.Fatalf("aliases should canonicalize and dedup to ghb+corr, got %v", got)
 	}
 }
+
+func TestSweepUnknownIPrefetchRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"iprefetch":["bogus"],"instructions":30000}`)
+	if status != 400 {
+		t.Fatalf("unknown iprefetcher: status = %d (body %s)", status, body)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bogus", "registered backends", "mana", "nextline"} {
+		if !strings.Contains(resp.Error, want) {
+			t.Fatalf("400 body should name %q, got: %s", want, resp.Error)
+		}
+	}
+}
+
+func TestSweepIPrefetchAndGeneratorsExclusive(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"iprefetch":["nextline"],"generators":["nsp"],"instructions":30000}`)
+	if status != 400 {
+		t.Fatalf("combined axes: status = %d (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "cannot be combined") {
+		t.Fatalf("400 body should explain the axis conflict, got: %s", body)
+	}
+}
+
+func TestSweepIPrefetchAllCrossProduct(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 8, MaxSweepJobs: 64})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["stream"],"iprefetch":["all"],"filters":["none","pa"],"instructions":30000,"warmup":10000}`)
+	if status != 200 {
+		t.Fatalf("iprefetch=all sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors != 0 {
+		t.Fatalf("errors=%d: %s", resp.Errors, body)
+	}
+	iprefs := map[string]map[string]bool{}
+	for _, r := range resp.Results {
+		if r.IPrefetcher == "" {
+			t.Fatalf("iprefetch-axis cell missing label: %+v", r)
+		}
+		if want := r.Benchmark + "/i:" + r.IPrefetcher + "/" + r.Filter; r.Name != want {
+			t.Fatalf("cell name = %q, want %q", r.Name, want)
+		}
+		if r.Run == nil || r.Run.Frontend == nil {
+			t.Fatalf("iprefetch cell %s must carry the Frontend stats block", r.Name)
+		}
+		if iprefs[r.IPrefetcher] == nil {
+			iprefs[r.IPrefetcher] = map[string]bool{}
+		}
+		iprefs[r.IPrefetcher][r.Filter] = true
+	}
+	for _, ip := range []string{"mana", "nextline"} {
+		if len(iprefs[ip]) != 2 {
+			t.Fatalf("iprefetch=all should cross %q with 2 filters, got %v", ip, iprefs[ip])
+		}
+	}
+	if len(resp.Comparison) != 0 || len(resp.GeneratorComparison) != 0 {
+		t.Fatalf("iprefetch sweep must use iprefetch_comparison only (plain=%d gen=%d)",
+			len(resp.Comparison), len(resp.GeneratorComparison))
+	}
+	if len(resp.IPrefetchComparison) != len(resp.Results) {
+		t.Fatalf("iprefetch comparison rows = %d, results = %d", len(resp.IPrefetchComparison), len(resp.Results))
+	}
+	for _, c := range resp.IPrefetchComparison {
+		if c.Filter == "none" && c.IPCDelta != 0 {
+			t.Fatalf("baseline delta must be 0: %+v", c)
+		}
+	}
+}
+
+func TestSweepIPrefetchAliasCanonicalized(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxConcurrent: 2, Workers: 4})
+	status, body := post(t, ts.URL, "/v1/sweep",
+		`{"benchmarks":["fpppp"],"iprefetch":["fetch-directed","nextline"],"filters":["none"],"instructions":30000,"warmup":10000}`)
+	if status != 200 {
+		t.Fatalf("alias sweep: status = %d (body %s)", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, r := range resp.Results {
+		got[r.IPrefetcher]++
+	}
+	if len(got) != 1 || got["nextline"] != 1 {
+		t.Fatalf("alias should canonicalize and dedup to nextline, got %v", got)
+	}
+}

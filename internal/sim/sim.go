@@ -189,6 +189,15 @@ func Run(opts Options) (stats.Run, error) {
 		counts := h.Tax.Counts
 		run.Taxonomy = &counts
 	}
+	if h.FrontendEnabled() {
+		run.Frontend = &stats.Frontend{
+			IPrefetcher:      string(cfg.Frontend.IPrefetch.Canonical()),
+			FetchBlocks:      h.FetchBlocks,
+			FetchMisses:      h.FetchMisses,
+			FetchStallCycles: res.FetchStallCycles,
+			Prefetches:       h.IPf,
+		}
+	}
 	if reg := opts.Metrics; reg != nil {
 		h.L1.DumpMetrics(reg, "sim.l1")
 		h.L2.DumpMetrics(reg, "sim.l2")

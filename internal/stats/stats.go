@@ -95,9 +95,55 @@ type Run struct {
 	// Per-source prefetch issue counts (nsp/sdp/stride/sw).
 	BySource map[string]uint64
 
+	// Frontend holds the I-side counters when the run modelled the
+	// front end (config.Config.Frontend); nil otherwise. The pointer is
+	// omitted from the JSON encoding when nil so D-side-only runs keep
+	// their canonical encoding — and therefore the fabric's pinned
+	// sweep fingerprints — byte-identical.
+	Frontend *Frontend `json:",omitempty"`
+
 	// Taxonomy holds the full Srinivasan prefetch classification when the
 	// run was instrumented with Options.Taxonomy; nil otherwise.
 	Taxonomy *taxonomy.Counts
+}
+
+// Frontend aggregates the I-side counters: the fetch-block stream the
+// front end presented to the L1I, the stall cycles fetch misses cost,
+// and the instruction-prefetch outcome counters (classified at L1I
+// eviction time exactly like the D-side's).
+type Frontend struct {
+	// IPrefetcher names the instruction-prefetch backend ("none" when
+	// only the L1I was modelled).
+	IPrefetcher string
+	// FetchBlocks counts fetch-block transitions presented to the L1I;
+	// same-block fetches are absorbed by the fetch unit.
+	FetchBlocks uint64
+	// FetchMisses counts fetch blocks that missed the L1I.
+	FetchMisses uint64
+	// FetchStallCycles counts cycles the front end stalled waiting for
+	// an instruction block.
+	FetchStallCycles uint64
+	// Prefetches are the instruction-prefetch outcome counters.
+	Prefetches Prefetches
+}
+
+// FetchMissRate returns L1I misses per fetch block.
+func (f Frontend) FetchMissRate() float64 {
+	if f.FetchBlocks == 0 {
+		return 0
+	}
+	return float64(f.FetchMisses) / float64(f.FetchBlocks)
+}
+
+// Pollution returns the fraction of classified instruction prefetches
+// that were never referenced before eviction — the I-side pollution
+// ratio.
+func (f Frontend) Pollution() float64 {
+	cl := f.Prefetches.Good + f.Prefetches.Bad
+	if cl == 0 {
+		return 0
+	}
+	return float64(f.Prefetches.Bad) / float64(cl)
 }
 
 // IPC returns instructions per cycle.

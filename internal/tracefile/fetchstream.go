@@ -1,0 +1,75 @@
+// The fetch-stream adapter: turns a PFTC trace into the I-side
+// cache-block instruction-fetch stream the front end consumes. The
+// per-record PCs — including the lookahead-resolved taken-branch
+// targets the converter stored — run through a frontend.FetchUnit, so
+// the trace-driven stream and the live fetch path in internal/hier
+// agree by construction.
+//
+// Decoding rides the ordinary Reader, never a private re-decode: the
+// PC-delta state therefore resets at every chunk boundary exactly as
+// the decoder's does, and the fetch stream is independent of how the
+// writer chunked the records. The cross-chunk regression test pins
+// this with a branch record sitting last in a chunk.
+
+package tracefile
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/frontend"
+)
+
+// FetchBlock is one step of the instruction-fetch block stream: the
+// front end crossed into a new cache block.
+type FetchBlock struct {
+	// Block is the line-aligned address of the instruction block.
+	Block uint64
+	// PC is the first instruction address fetched in the block.
+	PC uint64
+	// Redirect is true when the block was entered by a control-flow
+	// redirect rather than sequential fall-through.
+	Redirect bool
+}
+
+// FetchStream derives the fetch-block stream from a PFTC trace.
+type FetchStream struct {
+	r  *Reader
+	fu frontend.FetchUnit
+}
+
+// NewFetchStream validates the trace header and returns a streaming
+// fetch-block decoder over lineBytes-sized instruction blocks.
+func NewFetchStream(r io.Reader, lineBytes int, opts ReaderOptions) (*FetchStream, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("tracefile: fetch-stream line size must be a positive power of two, got %d", lineBytes)
+	}
+	rd, err := NewReader(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FetchStream{r: rd, fu: frontend.NewFetchUnit(lineBytes)}, nil
+}
+
+// Next returns the next fetch-block transition. Records whose PC stays
+// within the current block are consumed silently; after exhaustion or
+// a decode error it keeps returning false (Err distinguishes the two).
+func (s *FetchStream) Next() (FetchBlock, bool) {
+	for {
+		rec, ok := s.r.Next()
+		if !ok {
+			return FetchBlock{}, false
+		}
+		block, newBlock, redirect := s.fu.Step(rec.PC)
+		if !newBlock {
+			continue
+		}
+		return FetchBlock{Block: block, PC: rec.PC, Redirect: redirect}, true
+	}
+}
+
+// Err surfaces the decode error that ended the stream, if any.
+func (s *FetchStream) Err() error { return s.r.Err() }
+
+// Records returns the count of trace records consumed so far.
+func (s *FetchStream) Records() uint64 { return s.r.Records() }

@@ -132,7 +132,7 @@ func TestPublicTraceRoundTrip(t *testing.T) {
 
 func TestPublicExperimentsIndex(t *testing.T) {
 	exps := repro.Experiments()
-	if len(exps) != 30 {
+	if len(exps) != 31 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	if _, ok := repro.ExperimentByID("fig6"); !ok {
