@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # The race detector where goroutines actually meet (the concurrency
-# harnesses); the simulation packages are single-goroutine by design.
+# harnesses, plus the packages whose tests drive them); the remaining
+# simulation packages are single-goroutine by design.
 race:
-	$(GO) test -race ./internal/sched/ ./internal/server/ ./internal/metrics/ ./internal/experiments/ ./internal/fabric/
+	$(GO) test -race ./internal/sched/ ./internal/server/ ./internal/metrics/ ./internal/experiments/ ./internal/fabric/ ./internal/frontend/ ./internal/tracefile/
 
 # Static analysis: go vet plus pflint, the project linter
 # (docs/LINTING.md). A finding anywhere fails the target.

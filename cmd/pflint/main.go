@@ -1,17 +1,23 @@
 // Command pflint runs the repository's static-analysis suite
-// (internal/lint): determinism, hotpath, hooks, configcov, and errcheck
-// analyzers encoding the simulator's standing invariants. It exits 1
-// when any finding survives, so CI can gate on it; see docs/LINTING.md
-// for the rules and the //pflint:allow escape pragma.
+// (internal/lint): determinism, hotpath, hooks, configcov, errcheck,
+// lockflow, ctxflow, and hwbudget analyzers encoding the simulator's
+// standing invariants. It exits 1 when any finding survives, so CI can
+// gate on it; see docs/LINTING.md for the rules and the //pflint:allow
+// escape pragma.
 //
 // Usage:
 //
-//	pflint [-list] [packages]
+//	pflint [-list] [-json] [-budget] [packages]
 //
-// Packages default to ./... relative to the working directory.
+// Packages default to ./... relative to the working directory. -json
+// switches findings to one JSON object per line (file/line/col/rule/
+// message), the format .github/pflint-problem-matcher.json turns into
+// inline PR annotations. -budget prints the per-backend storage-bits
+// report (the hwbudget analyzer's runtime half) and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +26,21 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is the -json wire form, kept flat for problem matchers.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and rules, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	budget := flag.Bool("budget", false, "print the per-backend storage-bits report, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pflint [-list] [packages]\n\nAnalyzers (see docs/LINTING.md):\n")
+		fmt.Fprintf(os.Stderr, "usage: pflint [-list] [-json] [-budget] [packages]\n\nAnalyzers (see docs/LINTING.md):\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -42,6 +59,22 @@ func main() {
 		return
 	}
 
+	if *budget {
+		lines := lint.BudgetReport()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			for _, l := range lines {
+				if err := enc.Encode(l); err != nil {
+					fmt.Fprintln(os.Stderr, "pflint:", err)
+					os.Exit(2)
+				}
+			}
+			return
+		}
+		fmt.Print(lint.FormatBudget(lines))
+		return
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -53,11 +86,20 @@ func main() {
 	}
 	findings := lint.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && len(rel) < len(f.Pos.Filename) {
 				f.Pos.Filename = rel
 			}
+		}
+		if *asJSON {
+			jf := jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Message: f.Msg}
+			if err := enc.Encode(jf); err != nil {
+				fmt.Fprintln(os.Stderr, "pflint:", err)
+				os.Exit(2)
+			}
+			continue
 		}
 		fmt.Println(f)
 	}

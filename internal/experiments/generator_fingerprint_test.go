@@ -20,7 +20,7 @@ import (
 // say so in the commit message.
 var generatorFingerprintSHA256 = map[string]string{
 	"nsp":    "c7eed98df470353f0a287786a84473515557f31b7c47def1beb2e416a4569591",
-	"sdp":    "0e812077521b83cb851e280c2736edee81a7f0612e64c2878315f05f38e61e9a",
+	"sdp":    "32db876b3c44ee4422193acb54ea6d305626fb58017851ed61c493439fc80dc0",
 	"stride": "631c22a4afa10879fa722b10d00e22ea22b947a90edcd36926eb6fe849dc62fb",
 	"corr":   "0c9ec21fe7ed329d15c6f1cb5d2adbb8c1a6a63f6a0181096047e849b26fd3e9",
 	"berti":  "4521514cc63e3e988c75addec71f2c1b61ff5581aff97f53f7d474deb1e7e397",

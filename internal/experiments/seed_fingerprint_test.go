@@ -17,7 +17,7 @@ import (
 // cache policy, prefetcher behaviour, the PA/PC filter tables, or the
 // stats schema shows up here. Update this constant ONLY for an intentional
 // behaviour change, and say so in the commit message.
-const seedFingerprintSHA256 = "7cab68dfc93c152d583c3f4bacf02884e3ff5e02806b9da2d2c7910a2b963e84"
+const seedFingerprintSHA256 = "3970fc8e221e51af03c64c4a0df1993120aacea07acf2d33c52e76798acda8ba"
 
 func prewarmHash(t *testing.T, workers int) string {
 	t.Helper()

@@ -1,0 +1,429 @@
+// Intraprocedural control-flow graphs for the dataflow analyzers
+// (lockflow, ctxflow). Blocks hold statements — plus branch-condition
+// expressions, which get their own nodes so short-circuit evaluation
+// (&&, ||) branches precisely — in evaluation order. Edges cover
+// if/else, for/range (break, continue, labeled or not), switch and
+// type-switch (including fallthrough), select, goto, and early
+// returns; panic calls terminate a path like return does. Deferred
+// calls are collected on the graph: they run on every exit path, which
+// is exactly how the lock-release analysis consumes them.
+//
+// The builder is syntactic and total: unreachable statements still get
+// (predecessor-free) blocks, so analyzers see every node even when the
+// fixpoint never reaches it.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the function entry; Exit is the single synthetic exit
+	// every return (and the fall-off-the-end path) feeds.
+	Entry, Exit *Block
+	// Defers are the function's deferred calls, in source order. They
+	// execute on every path into Exit (normal or panicking).
+	Defers []*ast.CallExpr
+}
+
+// Block is one straight-line run of nodes. Nodes are ast.Stmt except
+// for branch conditions, which appear as the bare ast.Expr evaluated
+// at the end of the block.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// succ appends t to b's successors (deduplicated).
+func (b *Block) succ(t *Block) {
+	for _, s := range b.Succs {
+		if s == t {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, t)
+}
+
+// branchTarget is one enclosing construct a break/continue can reach.
+type branchTarget struct {
+	label string // enclosing statement label, "" if unlabeled
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	g *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return, break, panic, ...) until the next statement starts a
+	// fresh — unreachable — block.
+	cur       *Block
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*Block
+	gotos     []pendingGoto
+	// pendingLabel is the label wrapping the next loop/switch/select,
+	// consumed by that construct to register labeled break/continue.
+	pendingLabel string
+}
+
+// FuncCFG builds the CFG of a function body. It accepts the body of a
+// FuncDecl or FuncLit; a nil body yields an empty graph.
+func FuncCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.cur.succ(g.Exit)
+	}
+	for _, pg := range b.gotos {
+		if t, ok := b.labels[pg.label]; ok {
+			pg.from.succ(t)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// here returns the block under construction, starting an unreachable
+// one if the previous statement terminated the path.
+func (b *cfgBuilder) here() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.here().Nodes = append(b.here().Nodes, n) }
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// cond wires the evaluation of a branch condition from the current
+// block to t (true) and f (false), splitting short-circuit operators
+// into their own blocks so `mu.Lock() if a && block() {...}` analyses
+// see that block() only evaluates when a held. Leaves b.cur nil.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	blk := b.here()
+	blk.Nodes = append(blk.Nodes, e)
+	blk.succ(t)
+	blk.succ(f)
+	b.cur = nil
+}
+
+// takeLabel consumes the label wrapping the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// target resolves a break/continue destination, innermost-first.
+func target(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Give the labeled statement its own block so goto can land on
+		// it, and hand the label to the wrapped construct for labeled
+		// break/continue.
+		lb := b.newBlock()
+		if b.cur != nil {
+			b.cur.succ(lb)
+		}
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.here().succ(b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := target(b.breaks, label); t != nil {
+				b.here().succ(t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := target(b.continues, label); t != nil {
+				b.here().succ(t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.here(), label: label})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Wired by the enclosing switch; the statement is recorded
+			// and the case-body edge added there.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		after := b.newBlock()
+		elseB := after
+		if s.Else != nil {
+			elseB = b.newBlock()
+		}
+		b.cond(s.Cond, then, elseB)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.cur.succ(after)
+		}
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.cur.succ(after)
+			}
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.here().succ(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			head.succ(body)
+			b.cur = nil
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.cur.succ(cont)
+		}
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			if b.cur != nil {
+				b.cur.succ(head)
+			}
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.here().succ(head)
+		head.Nodes = append(head.Nodes, s) // the range expr evaluates here
+		head.succ(body)
+		head.succ(after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.cur.succ(head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.here()
+		head.Nodes = append(head.Nodes, s) // a select with no default blocks here
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			head.succ(blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.cur.succ(after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			head.succ(after)
+		}
+		b.cur = after
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s.Call)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				b.here().succ(b.g.Exit)
+				b.cur = nil
+			}
+		}
+
+	case nil:
+		// e.g. an absent init statement routed here by a caller
+
+	default:
+		// Assign, Send, IncDec, Go, Decl, Empty, ...: straight-line.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches: head evaluates the
+// init/tag, every case body is a successor of the head (case-expression
+// evaluation order adds nothing the analyzers care about), fallthrough
+// chains case bodies, and break (labeled or not) exits to after.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var init ast.Stmt
+	var tag ast.Node
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, body = s.Init, s.Body
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+	case *ast.TypeSwitchStmt:
+		init, body = s.Init, s.Body
+		tag = s.Assign
+	}
+	if init != nil {
+		b.stmt(init)
+	}
+	head := b.here()
+	if tag != nil {
+		head.Nodes = append(head.Nodes, tag)
+	}
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		head.succ(bodies[i])
+		if cc, ok := clauses[i].(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.succ(after)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			if fallsThrough(cc.Body) && i+1 < len(bodies) {
+				b.cur.succ(bodies[i+1])
+			} else {
+				b.cur.succ(after)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses a function body (syntax only — the CFG builder needs
+// no types) and returns its graph.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return FuncCFG(file.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// blockWith returns the unique block with a top-level node matching the
+// predicate. Matching is shallow on purpose: compound heads (select,
+// range, switch tags) syntactically contain their clause bodies, but
+// those bodies live in their own blocks.
+func blockWith(t *testing.T, g *CFG, desc string, match func(ast.Node) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if !match(n) {
+				continue
+			}
+			if found != nil && found != b {
+				t.Fatalf("%s appears in blocks %d and %d", desc, found.Index, b.Index)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %s", desc)
+	}
+	return found
+}
+
+// callTo matches an ExprStmt calling the named function.
+func callTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// condIdent matches a bare identifier condition node.
+func condIdent(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// branch matches a break/continue with the given label ("" = unlabeled).
+func branch(tok token.Token, label string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		if !ok || br.Tok != tok {
+			return false
+		}
+		got := ""
+		if br.Label != nil {
+			got = br.Label.Name
+		}
+		return got == label
+	}
+}
+
+func hasSucc(t *testing.T, from, to *Block, desc string) {
+	t.Helper()
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	t.Errorf("%s: block %d has no edge to block %d (succs %v)", desc, from.Index, to.Index, indices(from.Succs))
+}
+
+func indices(bs []*Block) []int {
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		out[i] = b.Index
+	}
+	return out
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	g := buildCFG(t, `
+	if a && b {
+		then()
+	}
+	rest()
+`)
+	bA := blockWith(t, g, "cond a", condIdent("a"))
+	bB := blockWith(t, g, "cond b", condIdent("b"))
+	bThen := blockWith(t, g, "then()", callTo("then"))
+	bRest := blockWith(t, g, "rest()", callTo("rest"))
+	if bA == bB {
+		t.Fatalf("short-circuit operands share block %d; && must split", bA.Index)
+	}
+	hasSucc(t, bA, bB, "a true evaluates b")
+	hasSucc(t, bA, bRest, "a false skips the body")
+	hasSucc(t, bB, bThen, "a && b true enters the body")
+	hasSucc(t, bB, bRest, "b false skips the body")
+	hasSucc(t, bThen, bRest, "body falls through")
+}
+
+func TestCFGShortCircuitOr(t *testing.T) {
+	g := buildCFG(t, `
+	if a || b {
+		then()
+	} else {
+		other()
+	}
+`)
+	bA := blockWith(t, g, "cond a", condIdent("a"))
+	bB := blockWith(t, g, "cond b", condIdent("b"))
+	bThen := blockWith(t, g, "then()", callTo("then"))
+	bOther := blockWith(t, g, "other()", callTo("other"))
+	hasSucc(t, bA, bThen, "a true short-circuits into the body")
+	hasSucc(t, bA, bB, "a false evaluates b")
+	hasSucc(t, bB, bThen, "b true enters the body")
+	hasSucc(t, bB, bOther, "both false take the else")
+}
+
+func TestCFGLabeledBranches(t *testing.T) {
+	g := buildCFG(t, `
+outer:
+	for ; c; post() {
+		for {
+			if a {
+				break outer
+			}
+			if b {
+				continue outer
+			}
+			if d {
+				break
+			}
+			inner()
+		}
+		mid()
+	}
+	rest()
+`)
+	bBreakOuter := blockWith(t, g, "break outer", branch(token.BREAK, "outer"))
+	bContOuter := blockWith(t, g, "continue outer", branch(token.CONTINUE, "outer"))
+	bBreak := blockWith(t, g, "break", branch(token.BREAK, ""))
+	bPost := blockWith(t, g, "post()", callTo("post"))
+	bMid := blockWith(t, g, "mid()", callTo("mid"))
+	bRest := blockWith(t, g, "rest()", callTo("rest"))
+	hasSucc(t, bBreakOuter, bRest, "break outer exits both loops")
+	hasSucc(t, bContOuter, bPost, "continue outer runs the outer post")
+	hasSucc(t, bBreak, bMid, "unlabeled break exits only the inner loop")
+	for _, s := range bBreakOuter.Succs {
+		if s == bMid {
+			t.Errorf("break outer must not stop at the inner loop's exit")
+		}
+	}
+}
+
+func TestCFGDeferAndEarlyReturn(t *testing.T) {
+	g := buildCFG(t, `
+	defer release()
+	if a {
+		return
+	}
+	work()
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	if id, ok := g.Defers[0].Fun.(*ast.Ident); !ok || id.Name != "release" {
+		t.Fatalf("deferred call is %v, want release()", g.Defers[0].Fun)
+	}
+	bRet := blockWith(t, g, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	bWork := blockWith(t, g, "work()", callTo("work"))
+	hasSucc(t, bRet, g.Exit, "early return reaches Exit")
+	hasSucc(t, bWork, g.Exit, "fall-off-the-end reaches Exit")
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildCFG(t, `
+	if a {
+		panic("boom")
+	}
+	work()
+`)
+	bPanic := blockWith(t, g, "panic", callTo("panic"))
+	if len(bPanic.Succs) != 1 || bPanic.Succs[0] != g.Exit {
+		t.Fatalf("panic block succs %v, want only Exit (block %d)", indices(bPanic.Succs), g.Exit.Index)
+	}
+}
+
+func TestCFGSelectAndRangeHeadsAreShallow(t *testing.T) {
+	g := buildCFG(t, `
+	select {
+	case <-ch:
+		one()
+	default:
+		two()
+	}
+	for range items {
+		body()
+	}
+	rest()
+`)
+	bSel := blockWith(t, g, "select head", func(n ast.Node) bool {
+		_, ok := n.(*ast.SelectStmt)
+		return ok
+	})
+	bOne := blockWith(t, g, "one()", callTo("one"))
+	bTwo := blockWith(t, g, "two()", callTo("two"))
+	if bOne == bSel || bTwo == bSel {
+		t.Fatalf("clause bodies must not share the select head block")
+	}
+	hasSucc(t, bSel, bOne, "head branches to the comm clause")
+	hasSucc(t, bSel, bTwo, "head branches to the default clause")
+
+	bRange := blockWith(t, g, "range head", func(n ast.Node) bool {
+		_, ok := n.(*ast.RangeStmt)
+		return ok
+	})
+	bBody := blockWith(t, g, "body()", callTo("body"))
+	if bBody == bRange {
+		t.Fatalf("range body must not share the head block")
+	}
+	hasSucc(t, bRange, bBody, "range head enters the body")
+	hasSucc(t, bBody, bRange, "range body loops back")
+}

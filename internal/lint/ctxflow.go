@@ -1,0 +1,408 @@
+// The ctxflow analyzer: context discipline for the request/dispatch
+// paths. Three rules:
+//
+//   - ctxflow/drop: a function that accepts a context.Context must
+//     thread it — every context-typed argument it passes to a callee
+//     must derive from the parameter (the parameter itself, a
+//     context.With* of it, or a value assigned from one). Passing a
+//     fresh context severs cancellation: the callee outlives the
+//     request that spawned it. Tracked as a forward taint analysis
+//     over the CFG, so re-assignments (`ctx = context.WithTimeout…`)
+//     are followed flow-sensitively.
+//   - ctxflow/background: context.Background()/context.TODO() are
+//     forbidden inside sched/server/fabric — the request/dispatch
+//     packages. Roots belong in main; everything below receives one.
+//   - ctxflow/goroutine: every `go func` in server/fabric must be
+//     cancellable — its body selects on a ctx/done channel, receives
+//     from a channel, or checks in with a sync.WaitGroup the parent
+//     waits on. A goroutine with none of those outlives Shutdown
+//     silently.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxBackgroundPackages: where Background()/TODO() are forbidden.
+var ctxBackgroundPackages = map[string]bool{"sched": true, "server": true, "fabric": true}
+
+// ctxGoroutinePackages: where every go-statement must be cancellable.
+var ctxGoroutinePackages = map[string]bool{"server": true, "fabric": true}
+
+func ctxflowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "ctxflow",
+		Doc:   "context threading, no fresh roots in dispatch paths, cancellable goroutines",
+		Rules: []string{RuleCtxDrop, RuleCtxBackground, RuleCtxGoroutine},
+		Run:   ctxflowRun,
+	}
+}
+
+func ctxflowRun(p *Package) []Finding {
+	c := &ctxflowChecker{p: p}
+	base := pkgBase(p)
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			if ctxBackgroundPackages[base] {
+				c.checkBackground(fd.Body)
+			}
+			if ctxGoroutinePackages[base] {
+				c.checkGoroutines(name, fd.Body)
+			}
+			// The taint analysis runs per function body — the decl's and
+			// each literal's, since a closure taking its own ctx is a
+			// function in its own right.
+			c.checkThreading(name, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					c.checkThreading(name+".func", fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return c.findings
+}
+
+type ctxflowChecker struct {
+	p        *Package
+	findings []Finding
+}
+
+func (c *ctxflowChecker) report(pos token.Pos, rule, format string, args ...any) {
+	c.findings = append(c.findings, c.p.finding(pos, rule, format, args...))
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ── ctxflow/background ────────────────────────────────────────────────
+
+// checkBackground flags every context.Background()/TODO() call in the
+// body, including inside function literals (they run in this package's
+// dispatch path all the same).
+func (c *ctxflowChecker) checkBackground(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBackgroundCall(c.p, call) {
+			return true
+		}
+		sel := unparen(call.Fun).(*ast.SelectorExpr)
+		c.report(call.Pos(), RuleCtxBackground,
+			"context.%s() in a dispatch-path package; accept a ctx from the caller instead of minting a root", sel.Sel.Name)
+		return true
+	})
+}
+
+// isBackgroundCall reports whether e is context.Background() or
+// context.TODO().
+func isBackgroundCall(p *Package, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return false
+	}
+	pkgPath, ok := packageQualifier(p, sel)
+	return ok && pkgPath == "context"
+}
+
+// ── ctxflow/goroutine ─────────────────────────────────────────────────
+
+// checkGoroutines requires every `go func(){...}()` to be cancellable:
+// the body mentions a Done()/Err() on some context, contains a select
+// or a channel receive (so it can observe shutdown), or signals a
+// sync.WaitGroup the parent waits on.
+func (c *ctxflowChecker) checkGoroutines(name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // `go method()` — the method body is checked where it is declared
+		}
+		if !c.cancellable(fl.Body) {
+			c.report(gs.Pos(), RuleCtxGoroutine,
+				"goroutine in %s is not cancellable: select on ctx.Done(), receive from a shutdown channel, or register with a WaitGroup", name)
+		}
+		return true
+	})
+}
+
+// cancellable reports whether a goroutine body can observe shutdown.
+func (c *ctxflowChecker) cancellable(body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			ok = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = true // blocks on a channel the parent controls
+			}
+		case *ast.CallExpr:
+			if sel, isSel := unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				switch sel.Sel.Name {
+				case "Done", "Err":
+					if isCtxType(c.p.TypeOf(sel.X)) {
+						ok = true
+					}
+					if pkgPath, typeName, has := methodReceiver(c.p, sel); has &&
+						pkgPath == "sync" && typeName == "WaitGroup" && sel.Sel.Name == "Done" {
+						ok = true
+					}
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// ── ctxflow/drop ──────────────────────────────────────────────────────
+
+// ctxParams returns the names of a function's context.Context
+// parameters (the taint seeds).
+func (c *ctxflowChecker) ctxParams(ft *ast.FuncType) []string {
+	var out []string
+	if ft.Params == nil {
+		return nil
+	}
+	for _, f := range ft.Params.List {
+		if !isCtxType(c.p.TypeOf(f.Type)) {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.Name != "_" {
+				out = append(out, name.Name)
+			}
+		}
+	}
+	return out
+}
+
+func (c *ctxflowChecker) checkThreading(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+	seeds := c.ctxParams(ft)
+	if len(seeds) == 0 {
+		return
+	}
+	g := FuncCFG(body)
+	entry := taintSet{}
+	for _, s := range seeds {
+		entry[s] = true
+	}
+	fl := &flow[taintSet]{
+		entry: entry,
+		eq:    taintEq,
+		join:  taintJoin,
+		transfer: func(n ast.Node, in taintSet) taintSet {
+			return c.taintTransfer(n, in)
+		},
+	}
+	in := fl.solve(g)
+	for _, b := range g.Blocks {
+		f := in[b.Index]
+		for _, n := range b.Nodes {
+			c.checkNodeArgs(name, n, f)
+			f = c.taintTransfer(n, f)
+		}
+	}
+}
+
+// taintSet is the dataflow fact: variables holding a context derived
+// from the function's ctx parameter.
+type taintSet map[string]bool
+
+func taintEq(a, b taintSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func taintJoin(a, b taintSet) taintSet {
+	grew := false
+	for k := range b {
+		if !a[k] {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		return a
+	}
+	out := make(taintSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// taintTransfer propagates derivation through assignments. Compound
+// CFG nodes (range heads, selects) carry no context assignments worth
+// tracking, so only assign/decl statements matter.
+func (c *ctxflowChecker) taintTransfer(n ast.Node, in taintSet) taintSet {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return c.taintAssign(n.Lhs, n.Rhs, in)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return in
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, id := range vs.Names {
+				lhs[i] = id
+			}
+			in = c.taintAssign(lhs, vs.Values, in)
+		}
+		return in
+	default:
+		return in
+	}
+}
+
+func (c *ctxflowChecker) taintAssign(lhs, rhs []ast.Expr, in taintSet) taintSet {
+	set := func(s taintSet, name string, tainted bool) taintSet {
+		if name == "_" || s[name] == tainted {
+			return s
+		}
+		out := make(taintSet, len(s)+1)
+		for k := range s {
+			out[k] = true
+		}
+		if tainted {
+			out[name] = true
+		} else {
+			delete(out, name)
+		}
+		return out
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			id, ok := unparen(lhs[i]).(*ast.Ident)
+			if !ok || !isCtxType(c.p.TypeOf(lhs[i])) {
+				continue
+			}
+			in = set(in, id.Name, c.exprDerived(rhs[i], in))
+		}
+		return in
+	}
+	// Multi-value form: ctx, cancel := context.WithTimeout(parent, d).
+	if len(rhs) == 1 {
+		call, ok := unparen(rhs[0]).(*ast.CallExpr)
+		derived := ok && c.callDerives(call, in)
+		for _, l := range lhs {
+			id, ok := unparen(l).(*ast.Ident)
+			if !ok || !isCtxType(c.p.TypeOf(l)) {
+				continue
+			}
+			in = set(in, id.Name, derived)
+		}
+	}
+	return in
+}
+
+// exprDerived reports whether e evaluates to a context derived from
+// the ctx parameter under the current fact.
+func (c *ctxflowChecker) exprDerived(e ast.Expr, in taintSet) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return in[e.Name]
+	case *ast.CallExpr:
+		return c.callDerives(e, in)
+	}
+	return false
+}
+
+// callDerives reports whether a call returns a context derived from a
+// tainted one: any call fed a derived context qualifies (context.With*
+// in particular), as does (*http.Request).Context() — the server's
+// per-request root.
+func (c *ctxflowChecker) callDerives(call *ast.CallExpr, in taintSet) bool {
+	for _, a := range call.Args {
+		if isCtxType(c.p.TypeOf(a)) && c.exprDerived(a, in) {
+			return true
+		}
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+		if pkgPath, typeName, ok := methodReceiver(c.p, sel); ok {
+			return pkgPath == "net/http" && typeName == "Request"
+		}
+	}
+	return false
+}
+
+// checkNodeArgs flags context-typed call arguments that do not derive
+// from the ctx parameter. Direct Background()/TODO() arguments inside
+// the gated packages are left to ctxflow/background (one finding per
+// sin, not two).
+func (c *ctxflowChecker) checkNodeArgs(name string, n ast.Node, in taintSet) {
+	if _, ok := n.(*ast.SelectStmt); ok {
+		return // clause bodies are separate blocks
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		n = r.X
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, a := range call.Args {
+			if !isCtxType(c.p.TypeOf(a)) || c.exprDerived(a, in) {
+				continue
+			}
+			if isBackgroundCall(c.p, a) && ctxBackgroundPackages[pkgBase(c.p)] {
+				continue
+			}
+			c.report(a.Pos(), RuleCtxDrop,
+				"%s accepts a ctx but passes a context not derived from it to %s; thread the parameter", name, types.ExprString(call.Fun))
+		}
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+// A small forward-dataflow framework over the CFGs of cfg.go.
+// Analyzers instantiate it with a fact lattice (join + equality) and a
+// per-node transfer function; the solver runs the standard worklist to
+// a fixpoint and hands back every block's entry fact, from which an
+// analyzer replays transfers node by node to attach findings to
+// positions. Facts must be treated as immutable: transfer returns a
+// fresh value when it changes anything.
+
+package lint
+
+import "go/ast"
+
+// flow is one forward-dataflow problem over a CFG.
+type flow[F any] struct {
+	// entry is the fact at function entry.
+	entry F
+	// eq reports fact equality (fixpoint detection).
+	eq func(a, b F) bool
+	// join merges facts at a control-flow merge.
+	join func(a, b F) F
+	// transfer applies one node's effect.
+	transfer func(n ast.Node, in F) F
+}
+
+// solve runs the worklist to fixpoint and returns the entry fact of
+// every block, indexed by Block.Index. Blocks the fixpoint never
+// reaches (unreachable code) keep the entry fact, so analyzers still
+// see their nodes under the most conservative assumption available.
+func (fl *flow[F]) solve(g *CFG) []F {
+	in := make([]F, len(g.Blocks))
+	seen := make([]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = fl.entry
+	}
+	seen[g.Entry.Index] = true
+
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := fl.blockOut(b, in[b.Index])
+		for _, s := range b.Succs {
+			next := out
+			if seen[s.Index] {
+				next = fl.join(in[s.Index], out)
+				if fl.eq(next, in[s.Index]) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			seen[s.Index] = true
+			work = append(work, s)
+		}
+	}
+	return in
+}
+
+// blockOut applies every node of b to the entry fact.
+func (fl *flow[F]) blockOut(b *Block, f F) F {
+	for _, n := range b.Nodes {
+		f = fl.transfer(n, f)
+	}
+	return f
+}

@@ -1,0 +1,329 @@
+// The hwbudget analyzer: hardware realizability for the backend zoos.
+// The paper's mechanism is judged by its storage budget as much as its
+// accuracy — every filter/prefetcher table in Table 1 has a size — so
+// every registered backend's mutable state must be bounded at
+// construction time. Three rules, applied to the state structs of the
+// filter, prefetch, frontend, and core packages (a state struct is one
+// that implements the package's Filter/Prefetcher backend interface,
+// or is reachable from one through same-package struct fields):
+//
+//   - hwbudget/map: a map-typed state field. Maps grow per key; no
+//     hardware table does. Use an array or slice sized by a *Log2 (or
+//     validated power-of-two) config field, or carry a reasoned
+//     pragma (an offline software profile is the one sanctioned case).
+//   - hwbudget/unsized: a slice-bearing state field with no sized
+//     make(...) allocation anywhere in the package — state that only
+//     comes into being by append has no budget.
+//   - hwbudget/growth: append to a state field outside a New*
+//     constructor or init. Post-construction growth is the software
+//     tell that the "table" has no hardware bound.
+//
+// Exported fields are exempt: by repo convention they are
+// observability counters (Triggers, Confirmed, TrainUpdates, ...)
+// read by reports, not simulated storage. The runtime complement of
+// this analyzer is BudgetReport (budget.go), which instantiates every
+// registered backend and prints the actual storage bits.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hwbudgetPackages is membership by import-path base: the packages
+// whose structs model hardware tables.
+var hwbudgetPackages = map[string]bool{"filter": true, "prefetch": true, "frontend": true, "core": true}
+
+// backendInterfaceNames are the interfaces whose implementers count as
+// registered backends: core.Filter and the prefetcher-zoo interfaces.
+var backendInterfaceNames = map[string]bool{"Filter": true, "Prefetcher": true}
+
+func hwbudgetAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "hwbudget",
+		Doc:   "backend state must be bounded at construction: no maps, no unsized slices, no post-construction growth",
+		Rules: []string{RuleHWMap, RuleHWUnsized, RuleHWGrowth},
+		Run:   hwbudgetRun,
+	}
+}
+
+func hwbudgetRun(p *Package) []Finding {
+	if !hwbudgetPackages[pkgBase(p)] || p.Types == nil {
+		return nil
+	}
+	c := &hwbudgetChecker{p: p}
+	c.collectStateStructs()
+	if len(c.state) == 0 {
+		return nil
+	}
+	c.collectAllocations()
+	c.checkFields()
+	c.checkGrowth()
+	return c.findings
+}
+
+type hwbudgetChecker struct {
+	p        *Package
+	findings []Finding
+	// state maps each state struct's *types.Named to its declaration
+	// name, insertion-ordered for deterministic reporting.
+	state map[*types.Named]bool
+	order []*types.Named
+	// sized is the set of field objects that receive a make(...) with a
+	// length somewhere in the package.
+	sized map[types.Object]bool
+}
+
+// collectStateStructs finds every named struct implementing a backend
+// interface (Filter/Prefetcher, local or from a sibling zoo package),
+// then closes over same-package struct-typed fields.
+func (c *hwbudgetChecker) collectStateStructs() {
+	c.state = map[*types.Named]bool{}
+
+	var ifaces []*types.Interface
+	addIface := func(scope *types.Scope) {
+		for name := range backendInterfaceNames {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if it, ok := tn.Type().Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, it)
+			}
+		}
+	}
+	addIface(c.p.Types.Scope())
+	for _, imp := range c.p.Types.Imports() {
+		if hwbudgetPackages[pathBase(imp.Path())] {
+			addIface(imp.Scope())
+		}
+	}
+	if len(ifaces) == 0 {
+		return
+	}
+
+	scope := c.p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		for _, it := range ifaces {
+			if types.Implements(types.NewPointer(named), it) || types.Implements(named, it) {
+				c.addState(named)
+				break
+			}
+		}
+	}
+}
+
+// addState records a state struct and recurses into same-package
+// struct-typed fields: nested state is state.
+func (c *hwbudgetChecker) addState(named *types.Named) {
+	if c.state[named] {
+		return
+	}
+	c.state[named] = true
+	c.order = append(c.order, named)
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if inner, ok := t.(*types.Named); ok && inner.Obj().Pkg() == c.p.Types {
+			if _, isStruct := inner.Underlying().(*types.Struct); isStruct {
+				c.addState(inner)
+			}
+		}
+	}
+}
+
+// collectAllocations records which state fields receive a sized
+// make(...) — via direct assignment (x.field = make(...), including
+// through an index) or a composite-literal key.
+func (c *hwbudgetChecker) collectAllocations() {
+	c.sized = map[types.Object]bool{}
+	for _, file := range c.p.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					if !isSizedMake(n.Rhs[i]) {
+						continue
+					}
+					if obj := c.fieldObject(n.Lhs[i]); obj != nil {
+						c.sized[obj] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok || !isSizedMake(n.Value) {
+					return true
+				}
+				if obj, ok := c.p.Info.Uses[key].(*types.Var); ok && obj.IsField() {
+					c.sized[obj] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSizedMake reports whether e is make(...) with an explicit length.
+func isSizedMake(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "make"
+}
+
+// fieldObject resolves an assignment target to the struct field it
+// stores into, unwrapping index expressions (x.tables[i] = make(...)).
+func (c *hwbudgetChecker) fieldObject(e ast.Expr) types.Object {
+	e = unparen(e)
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := c.p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// checkFields applies the map and unsized rules to every unexported
+// field of every state struct, reporting at the field declaration.
+func (c *hwbudgetChecker) checkFields() {
+	for _, named := range c.order {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Exported() {
+				continue // observability counter by convention
+			}
+			switch {
+			case containsMap(f.Type()):
+				c.findings = append(c.findings, c.p.finding(f.Pos(), RuleHWMap,
+					"map field %s.%s is unbounded; hardware state needs a table sized by a *Log2 config field", named.Obj().Name(), f.Name()))
+			case containsSlice(f.Type()) && !c.sized[f]:
+				c.findings = append(c.findings, c.p.finding(f.Pos(), RuleHWUnsized,
+					"slice field %s.%s has no sized make(...) in this package; allocate its budget at construction", named.Obj().Name(), f.Name()))
+			}
+		}
+	}
+}
+
+// checkGrowth flags appends to state fields outside constructors.
+func (c *hwbudgetChecker) checkGrowth() {
+	for _, file := range c.p.Syntax {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isConstructor(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if id, isIdent := unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+					return true
+				}
+				obj := c.fieldObject(call.Args[0])
+				if obj == nil {
+					return true
+				}
+				if v, isVar := obj.(*types.Var); isVar && c.isStateField(v) && !v.Exported() {
+					c.findings = append(c.findings, c.p.finding(call.Pos(), RuleHWGrowth,
+						"append grows state field %s outside a constructor; hardware tables do not grow after reset", v.Name()))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isStateField reports whether v is a field of a state struct.
+func (c *hwbudgetChecker) isStateField(v *types.Var) bool {
+	if !v.IsField() {
+		return false
+	}
+	for named := range c.state {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isConstructor: New* functions and package init are where budgets are
+// allocated; growth there is setup, not leakage.
+func isConstructor(fd *ast.FuncDecl) bool {
+	return strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") || fd.Name.Name == "init"
+}
+
+// containsMap reports whether t is or contains (through arrays/slices/
+// pointers) a map type. Named element types are not chased: a field of
+// another struct type is checked as that struct's own field.
+func containsMap(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Map:
+		return true
+	case *types.Slice:
+		return containsMap(t.Elem())
+	case *types.Array:
+		return containsMap(t.Elem())
+	case *types.Pointer:
+		return containsMap(t.Elem())
+	}
+	return false
+}
+
+// containsSlice reports whether t is or contains a slice type.
+func containsSlice(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Slice:
+		return true
+	case *types.Array:
+		return containsSlice(t.Elem())
+	case *types.Pointer:
+		return containsSlice(t.Elem())
+	}
+	return false
+}
+
+// pathBase is path.Base for import paths (no trailing slashes occur).
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -68,6 +68,9 @@ func Analyzers() []*Analyzer {
 		hooksAnalyzer(),
 		configcovAnalyzer(),
 		errcheckAnalyzer(),
+		lockflowAnalyzer(),
+		ctxflowAnalyzer(),
+		hwbudgetAnalyzer(),
 	}
 }
 
@@ -90,6 +93,17 @@ const (
 
 	RuleErrcheck = "errcheck/discard"
 
+	RuleLockBlocking = "lockflow/blocking"
+	RuleLockLeak     = "lockflow/leak"
+
+	RuleCtxDrop       = "ctxflow/drop"
+	RuleCtxBackground = "ctxflow/background"
+	RuleCtxGoroutine  = "ctxflow/goroutine"
+
+	RuleHWMap     = "hwbudget/map"
+	RuleHWUnsized = "hwbudget/unsized"
+	RuleHWGrowth  = "hwbudget/growth"
+
 	// Engine-level pragma hygiene rules (not suppressible).
 	RulePragmaMalformed = "pragma/malformed"
 	RulePragmaUnknown   = "pragma/unknown-rule"
@@ -103,11 +117,15 @@ var knownRules = map[string]bool{
 	RuleHooksGuard: true,
 	RuleConfigCov:  true,
 	RuleErrcheck:   true,
+	RuleLockBlocking: true, RuleLockLeak: true,
+	RuleCtxDrop: true, RuleCtxBackground: true, RuleCtxGoroutine: true,
+	RuleHWMap: true, RuleHWUnsized: true, RuleHWGrowth: true,
 }
 
 // knownAnalyzers lets a pragma suppress a whole analyzer by name.
 var knownAnalyzers = map[string]bool{
 	"determinism": true, "hotpath": true, "hooks": true, "configcov": true, "errcheck": true,
+	"lockflow": true, "ctxflow": true, "hwbudget": true,
 }
 
 // coreNames is the deterministic core: packages whose simulated state

@@ -1,0 +1,399 @@
+// The lockflow analyzer: in the concurrency-harness packages (sched,
+// server, fabric) a sync.Mutex/RWMutex must never be held across a
+// blocking operation — an HTTP round-trip, a net dial, a channel send
+// or receive, a select with no default, sched.Run / fabric dispatch,
+// WaitGroup.Wait, or time.Sleep. A goroutine parked on any of those
+// while holding a lock stalls every other goroutine contending for it,
+// and under the fabric's lease/re-deal machinery that is a distributed
+// stall: one wedged worker connection freezes the whole deal loop.
+//
+// The analysis is a forward dataflow over the function's CFG: the fact
+// is the set of possibly-held locks (may-analysis, union at merges),
+// acquired at mu.Lock()/RLock() and released at Unlock()/RUnlock().
+// Deferred unlocks are tracked separately — they keep the lock held
+// through the body (every blocking op after the Lock is still flagged)
+// but satisfy the release-on-return rule. sync.Cond.Wait is exempt by
+// design: it atomically releases the mutex it waits under.
+//
+// lockflow/leak fires when some return path leaves a lock held with no
+// deferred unlock — the early-return bug class the CFG exists to catch.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockflowPackages is membership by import-path base, like coreNames:
+// the packages where goroutines actually meet.
+var lockflowPackages = map[string]bool{"sched": true, "server": true, "fabric": true}
+
+func lockflowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "lockflow",
+		Doc:   "forbid holding a mutex across blocking operations, and returning with one held, in sched/server/fabric",
+		Rules: []string{RuleLockBlocking, RuleLockLeak},
+		Run:   lockflowRun,
+	}
+}
+
+func lockflowRun(p *Package) []Finding {
+	if !lockflowPackages[pkgBase(p)] {
+		return nil
+	}
+	c := &lockflowChecker{p: p}
+	for _, fn := range packageFuncs(p) {
+		c.checkFunc(fn)
+	}
+	return c.findings
+}
+
+// funcBody is one analyzable body: a declared function or a function
+// literal (goroutine bodies, deferred closures, job closures).
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// packageFuncs enumerates every function and function literal body in
+// the package. Literals are analyzed as separate functions: their code
+// runs under their own control flow, not their parent's.
+func packageFuncs(p *Package) []funcBody {
+	var out []funcBody
+	for _, file := range p.Syntax {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			out = append(out, funcBody{name: name, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcBody{name: name + ".func", body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lockSet is the dataflow fact: possibly-held locks, keyed by the
+// printed receiver expression, mapped to the acquiring position.
+type lockSet map[string]token.Pos
+
+func (s lockSet) with(key string, pos token.Pos) lockSet {
+	if _, ok := s[key]; ok {
+		return s
+	}
+	out := make(lockSet, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	out[key] = pos
+	return out
+}
+
+func (s lockSet) without(key string) lockSet {
+	if _, ok := s[key]; !ok {
+		return s
+	}
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func lockSetEq(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func lockSetJoin(a, b lockSet) lockSet {
+	out := a
+	for k, pos := range b {
+		out = out.with(k, pos)
+	}
+	return out
+}
+
+type lockflowChecker struct {
+	p        *Package
+	findings []Finding
+	// selectComm marks the comm statements of select clauses in the
+	// function under analysis: the park (if any) happens at the select
+	// head, so the chosen comm itself never blocks and is exempt from
+	// the channel-op rules.
+	selectComm map[ast.Node]bool
+}
+
+func (c *lockflowChecker) report(pos token.Pos, rule, format string, args ...any) {
+	c.findings = append(c.findings, c.p.finding(pos, rule, format, args...))
+}
+
+func (c *lockflowChecker) checkFunc(fn funcBody) {
+	g := FuncCFG(fn.body)
+
+	c.selectComm = map[ast.Node]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own checkFunc pass
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					c.selectComm[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Deferred unlocks satisfy release-on-return; deferred closures
+	// releasing a lock inside count too.
+	deferReleased := map[string]bool{}
+	for _, call := range g.Defers {
+		if key, op := c.lockOp(call); op == opUnlock {
+			deferReleased[key] = true
+		}
+		if fl, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.CallExpr); ok {
+					if key, op := c.lockOp(inner); op == opUnlock {
+						deferReleased[key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	fl := &flow[lockSet]{
+		entry: lockSet{},
+		eq:    lockSetEq,
+		join:  lockSetJoin,
+		transfer: func(n ast.Node, in lockSet) lockSet {
+			return c.transfer(fn, n, in, false)
+		},
+	}
+	in := fl.solve(g)
+
+	// Replay every block once from its solved entry fact, emitting
+	// findings; then join the facts flowing into Exit for the leak rule.
+	exit := lockSet{}
+	sawExit := false
+	for _, b := range g.Blocks {
+		f := in[b.Index]
+		for _, n := range b.Nodes {
+			f = c.transfer(fn, n, f, true)
+		}
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exit = lockSetJoin(exit, f)
+				sawExit = true
+			}
+		}
+	}
+	if !sawExit {
+		return
+	}
+	for key, pos := range exit {
+		if !deferReleased[key] {
+			c.report(pos, RuleLockLeak,
+				"%s.Lock() in %s is not released on every return path; unlock before returning or defer the unlock", key, fn.name)
+		}
+	}
+}
+
+// transfer applies one CFG node to the held-lock set; when emit is set
+// it also reports blocking operations performed with a lock held.
+// Compound statements appearing as CFG nodes (range heads, selects) are
+// handled shallowly — their bodies are separate blocks.
+func (c *lockflowChecker) transfer(fn funcBody, n ast.Node, in lockSet, emit bool) lockSet {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		if emit && !selectHasDefault(n) {
+			c.describeHeld(n.Pos(), in, fn, "select with no default case")
+		}
+		return in
+	case *ast.RangeStmt:
+		return c.scan(fn, n.X, in, emit)
+	case *ast.DeferStmt:
+		// The deferred call runs at exit; only its fun/args evaluate now.
+		in = c.scan(fn, n.Call.Fun, in, emit)
+		for _, a := range n.Call.Args {
+			in = c.scan(fn, a, in, emit)
+		}
+		return in
+	case *ast.GoStmt:
+		// The goroutine runs elsewhere (its literal body is analyzed as
+		// its own function); only the call's operands evaluate here.
+		for _, a := range n.Call.Args {
+			in = c.scan(fn, a, in, emit)
+		}
+		return in
+	default:
+		return c.scan(fn, n, in, emit)
+	}
+}
+
+// scan walks one node in evaluation order, applying lock transitions
+// and flagging blocking operations. Function literals are skipped:
+// they execute under their own CFG, not here. Select comm statements
+// get no channel-op findings — the park happened at the select head.
+func (c *lockflowChecker) scan(fn funcBody, n ast.Node, in lockSet, emit bool) lockSet {
+	chanOps := emit && !c.selectComm[n]
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if chanOps {
+				c.describeHeld(x.Arrow, in, fn, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && chanOps {
+				c.describeHeld(x.Pos(), in, fn, "channel receive")
+			}
+		case *ast.CallExpr:
+			switch key, op := c.lockOp(x); op {
+			case opLock:
+				in = in.with(key, x.Pos())
+			case opUnlock:
+				in = in.without(key)
+			case opNone:
+				if emit {
+					if desc := c.blockingCall(x); desc != "" {
+						c.describeHeld(x.Pos(), in, fn, desc)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return in
+}
+
+// describeHeld reports one blocking operation per currently-held lock.
+func (c *lockflowChecker) describeHeld(pos token.Pos, held lockSet, fn funcBody, what string) {
+	for key := range held {
+		c.report(pos, RuleLockBlocking,
+			"%s while holding %s in %s; release the lock before blocking (lockflow discipline, docs/LINTING.md)", what, key, fn.name)
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a mutex acquire/release, returning the
+// lock's identity (the printed receiver expression).
+func (c *lockflowChecker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	pkgPath, typeName, ok := methodReceiver(c.p, sel)
+	if !ok || pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+		return "", opNone
+	}
+	return types.ExprString(unparen(sel.X)), kind
+}
+
+// blockingCall describes a call that can block indefinitely, or ""
+// when the call is fine under a lock. sync.Cond.Wait is exempt: it
+// releases the mutex it waits under.
+func (c *lockflowChecker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if pkgPath, ok := packageQualifier(c.p, sel); ok {
+		switch {
+		case pkgPath == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+			return "net." + name
+		case pkgPath == "net/http" && (name == "Get" || name == "Head" || name == "Post" || name == "PostForm"):
+			return "HTTP round-trip http." + name
+		case pkgPath == "time" && name == "Sleep":
+			return "time.Sleep"
+		case strings.HasSuffix(pkgPath, "internal/sched") && name == "Run":
+			return "sched.Run (a whole scheduler batch)"
+		}
+		return ""
+	}
+	pkgPath, typeName, ok := methodReceiver(c.p, sel)
+	if !ok {
+		return ""
+	}
+	switch {
+	case pkgPath == "net/http" && typeName == "Client" && name == "Do":
+		return "HTTP round-trip (*http.Client).Do"
+	case pkgPath == "sync" && typeName == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait"
+	case strings.HasSuffix(pkgPath, "internal/fabric") && typeName == "Coordinator" && name == "Run":
+		return "fabric dispatch (*Coordinator).Run"
+	}
+	return ""
+}
+
+// methodReceiver resolves a selector call's receiver to its defining
+// package path and named type, seeing through pointers.
+func methodReceiver(p *Package, sel *ast.SelectorExpr) (pkgPath, typeName string, ok bool) {
+	if p.Info == nil {
+		return "", "", false
+	}
+	s, isMethod := p.Info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	t := s.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// selectHasDefault reports whether a select carries a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgBase is the import-path base used for package-set membership.
+func pkgBase(p *Package) string { return pathBase(p.ImportPath) }

@@ -1,0 +1,188 @@
+// Lockflow fixture: a package named "fabric" so the concurrency
+// analyzers apply. Exercises mutexes held across blocking operations
+// (channel ops, selects, HTTP, sleeps, waits), defer-unlock and
+// early-return paths through the CFG, the sync.Cond exemption, and the
+// dispatch-path context rules.
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Coord is a toy coordinator with the real one's locking surface.
+type Coord struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	work chan int
+	done chan struct{}
+	seq  uint64
+}
+
+// SendLocked holds mu across a channel send.
+func (c *Coord) SendLocked(v int) {
+	c.mu.Lock()
+	c.work <- v // want "lockflow/blocking: channel send while holding c\.mu"
+	c.mu.Unlock()
+}
+
+// RecvLocked holds mu across a channel receive.
+func (c *Coord) RecvLocked() int {
+	c.mu.Lock()
+	v := <-c.work // want "lockflow/blocking: channel receive while holding c\.mu"
+	c.mu.Unlock()
+	return v
+}
+
+// SendUnlocked releases before blocking: clean.
+func (c *Coord) SendUnlocked(v int) {
+	c.mu.Lock()
+	c.seq++
+	c.mu.Unlock()
+	c.work <- v
+}
+
+// SelectLocked holds the read lock across a select with no default.
+func (c *Coord) SelectLocked() {
+	c.rw.RLock()
+	select { // want "lockflow/blocking: select with no default case while holding c\.rw"
+	case <-c.done:
+	case v := <-c.work:
+		c.seq += uint64(v)
+	}
+	c.rw.RUnlock()
+}
+
+// PollLocked uses a select with a default: never parks, clean.
+func (c *Coord) PollLocked() {
+	c.rw.RLock()
+	select {
+	case v := <-c.work:
+		c.seq += uint64(v)
+	default:
+	}
+	c.rw.RUnlock()
+}
+
+// HTTPLocked holds mu across an HTTP round-trip; the defer keeps the
+// lock held for the whole body, which is exactly the point.
+func (c *Coord) HTTPLocked(url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := http.Get(url) // want "lockflow/blocking: HTTP round-trip http\.Get while holding c\.mu"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// SleepLocked holds mu across time.Sleep.
+func (c *Coord) SleepLocked(d time.Duration) {
+	c.mu.Lock()
+	time.Sleep(d) // want "lockflow/blocking: time\.Sleep while holding c\.mu"
+	c.mu.Unlock()
+}
+
+// WaitGroupLocked holds mu across a WaitGroup wait.
+func (c *Coord) WaitGroupLocked(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want "lockflow/blocking: sync\.WaitGroup\.Wait while holding c\.mu"
+	c.mu.Unlock()
+}
+
+// CondWait is the sanctioned pattern: sync.Cond.Wait releases the mutex
+// it waits under, so no blocking finding fires.
+func (c *Coord) CondWait() {
+	c.mu.Lock()
+	for c.seq == 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// LeakOnEarlyReturn forgets the unlock on the error path.
+func (c *Coord) LeakOnEarlyReturn(ok bool) bool {
+	c.mu.Lock() // want "lockflow/leak: c\.mu\.Lock\(\) in \(\*Coord\)\.LeakOnEarlyReturn is not released on every return path"
+	if !ok {
+		return false
+	}
+	c.seq++
+	c.mu.Unlock()
+	return true
+}
+
+// DeferCoversEveryPath is the same shape done right: clean.
+func (c *Coord) DeferCoversEveryPath(ok bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	c.seq++
+	return true
+}
+
+// ShortCircuitLocked parks inside the right operand of an &&; the
+// CFG's condition splitting must place the receive in its own block,
+// reachable with the lock held.
+func (c *Coord) ShortCircuitLocked(a bool) {
+	c.mu.Lock()
+	if a && <-c.work > 0 { // want "lockflow/blocking: channel receive while holding c\.mu"
+		c.seq++
+	}
+	c.mu.Unlock()
+}
+
+// tryLock acquires mu and reports true. The helper itself holds the
+// lock at return by design: its whole contract is transferring the
+// acquisition to the caller.
+func (c *Coord) tryLock() bool {
+	//pflint:allow lockflow/leak lock-transfer helper: the caller owns the unlock, mirroring the fixture's contract comment
+	c.mu.Lock()
+	return true
+}
+
+// MintRoot mints a fresh context inside a dispatch-path package.
+func (c *Coord) MintRoot() context.Context {
+	return context.Background() // want "ctxflow/background: context\.Background\(\) in a dispatch-path package"
+}
+
+// Dispatch threads its ctx: clean.
+func (c *Coord) Dispatch(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// FireAndForget spawns an uncancellable goroutine.
+func (c *Coord) FireAndForget() {
+	go func() { // want "ctxflow/goroutine: goroutine in \(\*Coord\)\.FireAndForget is not cancellable"
+		c.bump()
+	}()
+}
+
+// Watchdog spawns a ctx-selecting goroutine: clean.
+func (c *Coord) Watchdog(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-c.done:
+		}
+	}()
+}
+
+// Tracked spawns a WaitGroup-registered goroutine: clean.
+func (c *Coord) Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.bump()
+	}()
+}
+
+func (c *Coord) bump() {
+	c.mu.Lock()
+	c.seq++
+	c.mu.Unlock()
+}

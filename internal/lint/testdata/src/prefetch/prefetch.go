@@ -1,0 +1,71 @@
+// Hwbudget fixture: a package named "prefetch" so the
+// hardware-realizability rules apply. The local Prefetcher interface
+// stands in for the real zoo's; every implementer below is a state
+// struct, and nested same-package structs are state too.
+package prefetch
+
+// Prefetcher is the backend interface the analyzer keys on.
+type Prefetcher interface {
+	Name() string
+}
+
+// BadMap keeps its table in a map: per-key growth, no hardware bound.
+type BadMap struct {
+	table map[uint64]uint64 // want "hwbudget/map: map field BadMap\.table is unbounded; hardware state needs a table sized by a \*Log2 config field"
+
+	Lookups uint64 // exported: observability counter, exempt
+}
+
+func (b *BadMap) Name() string { return "badmap" }
+
+// Unsized declares a slice no constructor ever allocates — the state
+// only comes into being by append, so it has no budget.
+type Unsized struct {
+	rows []uint64 // want "hwbudget/unsized: slice field Unsized\.rows has no sized make\(\.\.\.\) in this package; allocate its budget at construction"
+}
+
+func (u *Unsized) Name() string { return "unsized" }
+
+// Grower allocates its budget properly but then outgrows it.
+type Grower struct {
+	history []uint64
+}
+
+// NewGrower sizes the table: the append here is setup, not leakage.
+func NewGrower(log2 uint) *Grower {
+	g := &Grower{history: make([]uint64, 0, 1<<log2)}
+	g.history = append(g.history, 0)
+	return g
+}
+
+func (g *Grower) Name() string { return "grower" }
+
+// Observe grows the table after construction.
+func (g *Grower) Observe(line uint64) {
+	g.history = append(g.history, line) // want "hwbudget/growth: append grows state field history outside a constructor; hardware tables do not grow after reset"
+}
+
+// bank is not itself a backend, but Good embeds it by field, so its
+// state is Good's state.
+type bank struct {
+	dirty map[uint64]bool // want "hwbudget/map: map field bank\.dirty is unbounded; hardware state needs a table sized by a \*Log2 config field"
+	lines []uint64
+}
+
+// Good is the sanctioned shape: every table sized at construction.
+type Good struct {
+	entries []uint64
+	b       *bank
+
+	Hits uint64
+}
+
+// NewGood allocates every budget up front.
+func NewGood(log2 uint) *Good {
+	return &Good{
+		entries: make([]uint64, 1<<log2),
+		b:       &bank{lines: make([]uint64, 1<<log2)},
+	}
+}
+
+func (g *Good) Name() string { return "good" }

@@ -1,0 +1,87 @@
+// Ctxflow fixture: a package named "server" so the context-discipline
+// rules apply. Exercises taint threading (parameter, context.With*
+// derivation, flow-sensitive reassignment, the per-request root),
+// forbidden context roots, and goroutine cancellability.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// stale is a package-level context — the classic way to sever a
+// request's cancellation chain.
+var stale context.Context
+
+// done is a package-level shutdown channel.
+var done chan struct{}
+
+type ctxKey struct{}
+
+func helper(ctx context.Context) {}
+
+// ThreadOK passes its parameter straight through: clean.
+func ThreadOK(ctx context.Context) {
+	helper(ctx)
+}
+
+// DropStale hands a callee the package-level context instead of the
+// one it was given.
+func DropStale(ctx context.Context) {
+	helper(stale) // want "ctxflow/drop: DropStale accepts a ctx but passes a context not derived from it to helper"
+}
+
+// DeriveOK threads through context.WithCancel: derived, clean.
+func DeriveOK(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	helper(child)
+}
+
+// Reassigned is the flow-sensitive case: cur holds the stale context
+// at the first call and is rebound to a derived one before the second.
+func Reassigned(ctx context.Context) {
+	cur := stale
+	helper(cur) // want "ctxflow/drop: Reassigned accepts a ctx but passes a context not derived from it to helper"
+	cur = context.WithValue(ctx, ctxKey{}, 1)
+	helper(cur)
+}
+
+// FromRequest uses the request's own root, the sanctioned alternative
+// to the parameter: clean.
+func FromRequest(ctx context.Context, r *http.Request) {
+	helper(r.Context())
+}
+
+// MintRoot mints a root inside the request path.
+func MintRoot() context.Context {
+	return context.Background() // want "ctxflow/background: context\.Background\(\) in a dispatch-path package"
+}
+
+// PassFresh both mints and drops in one expression; the background
+// rule owns the finding so ctxflow/drop stays quiet (one finding per
+// sin, not two).
+func PassFresh(ctx context.Context) {
+	helper(context.TODO()) // want "ctxflow/background: context\.TODO\(\) in a dispatch-path package"
+}
+
+// FireAndForget spawns a goroutine nothing can stop.
+func FireAndForget() {
+	go func() { // want "ctxflow/goroutine: goroutine in FireAndForget is not cancellable"
+		stale = nil
+	}()
+}
+
+// Watch selects nothing but blocks on ctx.Done(): cancellable, clean.
+func Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Shutdownable receives from the package shutdown channel: clean.
+func Shutdownable() {
+	go func() {
+		<-done
+	}()
+}

@@ -95,14 +95,60 @@ type SDP struct {
 	// becomes its shadow.
 	lastLine  uint64
 	lastValid bool
-	// pending maps an issued shadow line to the resident line that
-	// predicted it, so a demand reference to the shadow can set the
+	// pending associates an issued shadow line with the resident line
+	// that predicted it, so a demand reference to the shadow can set the
 	// predictor line's confirmation bit. Hardware keeps this association
-	// implicitly via the prefetched line's tag; a tiny map is equivalent.
-	pending map[uint64]uint64
+	// implicitly via the prefetched line's tag — a bounded structure —
+	// so the software model uses a direct-mapped table of the same
+	// spirit: a colliding insert evicts the older association, exactly
+	// as a hardware tag can only remember one owner.
+	pending sdpPendingTable
 
 	Triggers  uint64
 	Confirmed uint64
+}
+
+// sdpPendingLog2 sizes the shadow→owner association table. 2^12 covers
+// every line of the Table 1 L2 with headroom; the unbounded map it
+// replaces leaked one entry per never-confirmed shadow for the whole
+// run (and was flagged by hwbudget/map as unrealizable in hardware).
+const sdpPendingLog2 = 12
+
+// sdpPendingTable is a direct-mapped shadow→owner table, indexed by the
+// shadow line address's low bits with the full address as tag.
+type sdpPendingTable struct {
+	shadow []uint64
+	owner  []uint64
+	valid  []bool
+}
+
+func newSDPPendingTable() sdpPendingTable {
+	return sdpPendingTable{
+		shadow: make([]uint64, 1<<sdpPendingLog2),
+		owner:  make([]uint64, 1<<sdpPendingLog2),
+		valid:  make([]bool, 1<<sdpPendingLog2),
+	}
+}
+
+func (t *sdpPendingTable) index(shadow uint64) uint64 {
+	return shadow & (1<<sdpPendingLog2 - 1)
+}
+
+// put records shadow→owner, evicting whatever association occupied the
+// slot (the hardware tag can only remember one owner).
+func (t *sdpPendingTable) put(shadow, owner uint64) {
+	i := t.index(shadow)
+	t.shadow[i], t.owner[i], t.valid[i] = shadow, owner, true
+}
+
+// take looks up and invalidates the association for shadow, if present.
+func (t *sdpPendingTable) take(shadow uint64) (owner uint64, ok bool) {
+	i := t.index(shadow)
+	if !t.valid[i] || t.shadow[i] != shadow {
+		return 0, false
+	}
+	t.valid[i] = false
+	return t.owner[i], true
 }
 
 // NewSDP builds an SDP over the given L2 cache.
@@ -110,7 +156,7 @@ func NewSDP(l2 *cache.Cache) (*SDP, error) {
 	if l2 == nil {
 		return nil, fmt.Errorf("prefetch: SDP requires an L2 cache")
 	}
-	return &SDP{l2: l2, pending: make(map[uint64]uint64)}, nil
+	return &SDP{l2: l2, pending: newSDPPendingTable()}, nil
 }
 
 // Name implements Prefetcher.
@@ -124,8 +170,7 @@ func (s *SDP) Observe(ev Event, emit func(Candidate)) {
 	}
 	// A demand reference to a line that was issued as a shadow prefetch
 	// confirms the predictor line's shadow.
-	if owner, ok := s.pending[ev.LineAddr]; ok {
-		delete(s.pending, ev.LineAddr)
+	if owner, ok := s.pending.take(ev.LineAddr); ok {
 		if line, resident := s.l2.Peek(owner); resident {
 			line.Confirm = true
 			s.Confirmed++
@@ -149,7 +194,7 @@ func (s *SDP) Observe(ev Event, emit func(Candidate)) {
 		if line, resident := s.l2.Peek(ev.LineAddr); resident && line.ShadowValid && line.Confirm {
 			s.Triggers++
 			line.Confirm = false // must be re-confirmed by an actual use
-			s.pending[line.Shadow] = ev.LineAddr
+			s.pending.put(line.Shadow, ev.LineAddr)
 			emit(Candidate{
 				LineAddr:  line.Shadow,
 				TriggerPC: ev.PC,
@@ -251,6 +296,7 @@ func (s *Stride) Observe(ev Event, emit func(Candidate)) {
 
 // Composite fans one event out to several prefetchers in order.
 type Composite struct {
+	//pflint:allow hwbudget/unsized aggregate of already-budgeted generators, fixed at construction and bounded by the enabled-generator count; no table of its own
 	parts []Prefetcher
 }
 

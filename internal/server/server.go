@@ -172,6 +172,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // expires.
 func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
+	//pflint:allow ctxflow/goroutine the standard WaitGroup-to-channel bridge: exits as soon as the in-flight requests it waits on drain, which BeginDrain has already capped; ctx only bounds how long the caller waits
 	go func() {
 		s.inflight.Wait()
 		close(done)

@@ -297,4 +297,40 @@ func TestPublicLint(t *testing.T) {
 	if len(clean) != 0 {
 		t.Fatalf("internal/prefetch should be clean, got %v", clean)
 	}
+
+	// The v2 dataflow analyzers surface through the same wrapper: the
+	// fabric fixture is dirty across lockflow and ctxflow, the prefetch
+	// fixture across hwbudget.
+	dirty, err := repro.Lint(".", "./internal/lint/testdata/src/fabric")
+	if err != nil {
+		t.Fatalf("Lint(fabric fixture): %v", err)
+	}
+	for _, rule := range []string{"lockflow/blocking", "lockflow/leak", "ctxflow/background", "ctxflow/goroutine"} {
+		found := false
+		for _, f := range dirty {
+			if strings.Contains(f, rule) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fabric fixture surfaced no %s finding through repro.Lint; got %v", rule, dirty)
+		}
+	}
+	hw, err := repro.Lint(".", "./internal/lint/testdata/src/prefetch")
+	if err != nil {
+		t.Fatalf("Lint(prefetch fixture): %v", err)
+	}
+	for _, rule := range []string{"hwbudget/map", "hwbudget/unsized", "hwbudget/growth"} {
+		found := false
+		for _, f := range hw {
+			if strings.Contains(f, rule) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("prefetch fixture surfaced no %s finding through repro.Lint; got %v", rule, hw)
+		}
+	}
 }
